@@ -1,0 +1,165 @@
+package rapidmrc
+
+// One benchmark per table and figure of the paper's evaluation, each
+// regenerating that experiment's data via the drivers in
+// internal/experiments (quick mode, so the whole suite is tractable under
+// `go test -bench=.`). The cmd/experiments binary runs the same drivers
+// at full fidelity and prints the reports.
+//
+// The trailing benchmarks are ablations: the range-list stack against the
+// naive O(n) stack (the optimization of Kim et al. the paper adopts), and
+// the capture/compute halves of the pipeline in isolation.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"rapidmrc/internal/core"
+	"rapidmrc/internal/cpu"
+	"rapidmrc/internal/experiments"
+	"rapidmrc/internal/mem"
+	"rapidmrc/internal/platform"
+	"rapidmrc/internal/workload"
+)
+
+// benchCfg is the configuration every experiment bench runs with.
+func benchCfg(apps ...string) experiments.Config {
+	return experiments.Config{Seed: 1, Quick: true, Apps: apps}
+}
+
+// runExperiment runs one registered experiment b.N times.
+func runExperiment(b *testing.B, id string, cfg experiments.Config) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)  { runExperiment(b, "table1", benchCfg()) }
+func BenchmarkFigure1(b *testing.B) { runExperiment(b, "fig1", benchCfg()) }
+func BenchmarkFigure2a(b *testing.B) {
+	runExperiment(b, "fig2a", benchCfg())
+}
+func BenchmarkFigure2b(b *testing.B) {
+	runExperiment(b, "fig2b", benchCfg())
+}
+func BenchmarkFigure2c(b *testing.B) {
+	runExperiment(b, "fig2c", benchCfg())
+}
+
+// BenchmarkFigure3 regenerates the accuracy comparison for a
+// representative application subset: the showcase (mcf), a well-behaved
+// app (twolf), a stream (libquantum), and a problematic one (swim).
+func BenchmarkFigure3(b *testing.B) {
+	runExperiment(b, "fig3", benchCfg("mcf", "twolf", "libquantum", "swim"))
+}
+
+func BenchmarkFigure4(b *testing.B)  { runExperiment(b, "fig4", benchCfg()) }
+func BenchmarkFigure5a(b *testing.B) { runExperiment(b, "fig5a", benchCfg()) }
+func BenchmarkFigure5b(b *testing.B) { runExperiment(b, "fig5b", benchCfg()) }
+func BenchmarkFigure5c(b *testing.B) { runExperiment(b, "fig5c", benchCfg()) }
+func BenchmarkFigure5d(b *testing.B) { runExperiment(b, "fig5d", benchCfg()) }
+func BenchmarkFigure5e(b *testing.B) { runExperiment(b, "fig5e", benchCfg()) }
+func BenchmarkFigure6(b *testing.B)  { runExperiment(b, "fig6", benchCfg()) }
+func BenchmarkFigure7(b *testing.B)  { runExperiment(b, "fig7", benchCfg()) }
+
+// BenchmarkTable2 regenerates the statistics table for the same subset as
+// BenchmarkFigure3.
+func BenchmarkTable2(b *testing.B) {
+	runExperiment(b, "table2", benchCfg("mcf", "twolf", "libquantum", "swim"))
+}
+
+// Extension experiments: the §6 future-PMU ablation, the §5.3 dynamic
+// repartitioning controller, and use case (iv) global-MRC prediction.
+func BenchmarkExtPMUBuffer(b *testing.B) { runExperiment(b, "ext-pmubuffer", benchCfg()) }
+func BenchmarkExtDynamic(b *testing.B)   { runExperiment(b, "ext-dynamic", benchCfg()) }
+func BenchmarkExtGlobalMRC(b *testing.B) { runExperiment(b, "ext-globalmrc", benchCfg()) }
+func BenchmarkExtReplacement(b *testing.B) {
+	runExperiment(b, "ext-replacement", benchCfg())
+}
+
+// --- Pipeline-stage benchmarks -----------------------------------------
+
+// BenchmarkCaptureTrace measures the probing period alone: simulated
+// execution with per-event PMU exceptions.
+func BenchmarkCaptureTrace(b *testing.B) {
+	m := platform.NewMachine(workload.New(workload.MustByName("twolf"), 1),
+		platform.Options{Mode: cpu.Complex, L3Enabled: true, Seed: 1})
+	m.RunInstructions(500_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.CollectTrace(10_000)
+	}
+}
+
+// BenchmarkComputeMRC measures the stack-simulation half on a realistic
+// captured trace.
+func BenchmarkComputeMRC(b *testing.B) {
+	m := platform.NewMachine(workload.New(workload.MustByName("twolf"), 1),
+		platform.Options{Mode: cpu.Complex, L3Enabled: true, Seed: 1})
+	m.RunInstructions(500_000)
+	cap := m.CollectTrace(160_000)
+	core.CorrectPrefetchRepetitions(cap.Lines)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compute(cap.Lines, cap.Stats.Instructions, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTrace builds a mixed-locality synthetic trace for the stack
+// ablation.
+func benchTrace(n int) []mem.Line {
+	r := rand.New(rand.NewSource(5))
+	trace := make([]mem.Line, n)
+	for i := range trace {
+		switch r.Intn(4) {
+		case 0:
+			trace[i] = mem.Line(r.Intn(1000))
+		case 1, 2:
+			trace[i] = mem.Line(2000 + r.Intn(12000))
+		default:
+			trace[i] = mem.Line(1_000_000 + i)
+		}
+	}
+	return trace
+}
+
+// BenchmarkStackRangeList and BenchmarkStackNaive quantify the range-list
+// optimization (DESIGN.md ablation): same trace, same capacity, the two
+// stack implementations.
+func BenchmarkStackRangeList(b *testing.B) {
+	trace := benchTrace(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := core.NewRangeStack(15360, core.DefaultGroupSize)
+		for _, l := range trace {
+			s.Reference(l)
+		}
+	}
+}
+
+func BenchmarkStackNaive(b *testing.B) {
+	trace := benchTrace(10_000) // 10× shorter: O(n·capacity) is slow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := core.NewNaiveStack(15360)
+		for _, l := range trace {
+			s.Reference(l)
+		}
+	}
+}
+
+// BenchmarkOnlineEndToEnd is the user-facing workflow: warmup, capture,
+// compute, transpose.
+func BenchmarkOnlineEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Online("gzip", WithSeed(1), WithTraceEntries(20_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Command dinero replays a saved access trace (see mrcgen -save) through
+// configurable caches, in the spirit of the Dinero IV simulator the paper
+// uses for its associativity study (§5.2.6): sweep capacity,
+// associativity, or replacement policy and print the miss rates.
+//
+// Usage:
+//
+//	mrcgen -app mcf -save mcf.trace
+//	dinero -trace mcf.trace                      # capacity sweep, 10-way LRU
+//	dinero -trace mcf.trace -ways 10,32,64,0     # associativity sweep
+//	dinero -trace mcf.trace -policy LRU,FIFO,MRU # policy sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rapidmrc/internal/cache"
+	"rapidmrc/internal/core"
+	"rapidmrc/internal/report"
+	"rapidmrc/internal/tracefile"
+)
+
+func main() {
+	var (
+		path     = flag.String("trace", "", "trace file written by mrcgen -save")
+		ways     = flag.String("ways", "10", "comma-separated associativities (0 = fully associative)")
+		policies = flag.String("policy", "LRU", "comma-separated replacement policies: LRU, FIFO, Random, MRU")
+		warmPct  = flag.Int("warmup", 20, "percent of the trace used as warmup")
+		correct  = flag.Bool("correct", true, "apply the prefetch-repetition correction before replay")
+		seed     = flag.Int64("seed", 1, "seed for the Random policy")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "dinero: -trace is required")
+		os.Exit(1)
+	}
+
+	f, err := os.Open(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dinero:", err)
+		os.Exit(1)
+	}
+	tr, err := tracefile.Read(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dinero:", err)
+		os.Exit(1)
+	}
+	if *correct {
+		core.CorrectPrefetchRepetitions(tr.Lines)
+	}
+	warm := len(tr.Lines) * *warmPct / 100
+
+	wayList, err := parseInts(*ways)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dinero:", err)
+		os.Exit(1)
+	}
+	polList, err := parsePolicies(*policies)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dinero:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("replaying %d entries (%d warmup) from %s\n\n", len(tr.Lines), warm, *path)
+	sizes := make([]float64, 16)
+	names := []string{}
+	series := [][]float64{}
+	for _, w := range wayList {
+		for _, p := range polList {
+			if p != cache.LRU && w == 0 {
+				fmt.Fprintf(os.Stderr, "dinero: skipping %v at full associativity (unsupported)\n", p)
+				continue
+			}
+			rates := make([]float64, 16)
+			for k := 0; k < 16; k++ {
+				sizeBytes := int64(k+1) * 960 * 128
+				sizes[k] = float64(sizeBytes) / 1024
+				cfg := cache.Config{
+					Name: "dinero", SizeBytes: sizeBytes, LineSize: 128,
+					Ways: w, Policy: p, Seed: *seed,
+				}
+				rates[k] = cache.Replay(cfg, tr.Lines, warm).MissRate()
+			}
+			label := fmt.Sprintf("%s/%s", waysName(w), p)
+			names = append(names, label)
+			series = append(series, rates)
+		}
+	}
+	fmt.Print(report.Series("kB", sizes, names, series))
+	fmt.Print(report.Plot("miss rate vs capacity", names, series, 48, 12))
+}
+
+func waysName(w int) string {
+	if w == 0 {
+		return "full"
+	}
+	return fmt.Sprintf("%d-way", w)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad ways %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parsePolicies(s string) ([]cache.Policy, error) {
+	var out []cache.Policy
+	for _, part := range strings.Split(s, ",") {
+		switch strings.ToUpper(strings.TrimSpace(part)) {
+		case "LRU":
+			out = append(out, cache.LRU)
+		case "FIFO":
+			out = append(out, cache.FIFO)
+		case "RANDOM":
+			out = append(out, cache.Random)
+		case "MRU":
+			out = append(out, cache.MRU)
+		default:
+			return nil, fmt.Errorf("unknown policy %q", part)
+		}
+	}
+	return out, nil
+}

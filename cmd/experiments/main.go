@@ -1,0 +1,57 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated platform.
+//
+// Usage:
+//
+//	experiments -run fig3            # one experiment
+//	experiments -run all             # everything
+//	experiments -run table2 -quick   # smaller logs/slices, fast
+//	experiments -run fig3 -apps mcf,twolf,art
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rapidmrc/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment id (see -list) or 'all'")
+		quick = flag.Bool("quick", false, "use reduced log and slice sizes")
+		seed  = flag.Int64("seed", 1, "deterministic seed")
+		apps  = flag.String("apps", "", "comma-separated application subset")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	if *apps != "" {
+		cfg.Apps = strings.Split(*apps, ",")
+	}
+
+	start := time.Now()
+	var err error
+	if *run == "all" {
+		err = experiments.RunAll(os.Stdout, cfg)
+	} else {
+		err = experiments.Run(*run, os.Stdout, cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}

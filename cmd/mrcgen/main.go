@@ -1,0 +1,153 @@
+// Command mrcgen computes a RapidMRC curve online for one of the bundled
+// applications: it boots the simulated machine, runs a probing period,
+// feeds the captured trace through the stack simulator, and prints the
+// curve (optionally against the real MRC).
+//
+// Usage:
+//
+//	mrcgen -app mcf
+//	mrcgen -app swim -entries 1600000 -real
+//	mrcgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rapidmrc"
+	"rapidmrc/internal/mem"
+	"rapidmrc/internal/report"
+	"rapidmrc/internal/tracefile"
+)
+
+func main() {
+	var (
+		app        = flag.String("app", "mcf", "application name")
+		entries    = flag.Int("entries", rapidmrc.TraceEntries, "trace log length")
+		seed       = flag.Int64("seed", 1, "deterministic seed")
+		simplified = flag.Bool("simplified", false, "capture in single-issue, in-order, no-prefetch mode")
+		withReal   = flag.Bool("real", false, "also measure the real MRC (16 full runs) and report the distance")
+		list       = flag.Bool("list", false, "list available applications")
+		save       = flag.String("save", "", "write the captured (uncorrected) trace to this file")
+		load       = flag.String("load", "", "compute from a previously saved trace instead of capturing")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range rapidmrc.Apps() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	opts := []rapidmrc.SystemOption{
+		rapidmrc.WithSeed(*seed),
+		rapidmrc.WithTraceEntries(*entries),
+	}
+	if *simplified {
+		opts = append(opts, rapidmrc.WithSimplifiedMode())
+	}
+
+	var (
+		curve *rapidmrc.Curve
+		stats *rapidmrc.Stats
+		trace *rapidmrc.Trace
+		err   error
+	)
+	if *load != "" {
+		trace, err = loadTrace(*load)
+		if err == nil {
+			curve, stats, err = rapidmrc.NewEngine().Compute(trace)
+		}
+	} else {
+		curve, stats, trace, err = rapidmrc.Online(*app, opts...)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrcgen:", err)
+		os.Exit(1)
+	}
+	if *save != "" {
+		if err := saveTrace(*save, trace); err != nil {
+			fmt.Fprintln(os.Stderr, "mrcgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace saved to %s\n", *save)
+	}
+
+	source := *app
+	if *load != "" {
+		source = *load
+	}
+	fmt.Printf("RapidMRC for %s (%d-entry log)\n", source, len(trace.Lines))
+	fmt.Printf("capture: %d instr, %d Mcycles, %d dropped, %d stale\n",
+		trace.Instructions, trace.Cycles/1e6, trace.Dropped, trace.Stale)
+	fmt.Printf("compute: %d Mcycles, warmup %d entries (auto=%v), stack hit rate %.0f%%, %d entries converted\n",
+		stats.ComputeCycles/1e6, stats.WarmupEntries, stats.AutoWarmup,
+		100*stats.StackHitRate, stats.Converted)
+
+	x := make([]float64, len(curve.MPKI))
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	if *withReal {
+		realOpts := []rapidmrc.SystemOption{rapidmrc.WithSeed(*seed)}
+		real, err := rapidmrc.RealCurve(*app, realOpts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrcgen:", err)
+			os.Exit(1)
+		}
+		matched := curve.Clone()
+		matched.Transpose(8, real.At(8))
+		fmt.Printf("distance to real MRC (matched at 8 colors): %.2f MPKI\n\n",
+			rapidmrc.Distance(matched, real))
+		fmt.Print(report.Series("colors", x, []string{"RapidMRC", "Real"},
+			[][]float64{matched.MPKI, real.MPKI}))
+		fmt.Print(report.Plot(*app, []string{"RapidMRC", "Real"},
+			[][]float64{matched.MPKI, real.MPKI}, 48, 12))
+		return
+	}
+	fmt.Println()
+	fmt.Print(report.Series("colors", x, []string{"MPKI"}, [][]float64{curve.MPKI}))
+	fmt.Print(report.Plot(*app, []string{"MPKI"}, [][]float64{curve.MPKI}, 48, 12))
+}
+
+// saveTrace serializes the raw captured trace.
+func saveTrace(path string, t *rapidmrc.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	lines := make([]mem.Line, len(t.Lines))
+	for i, l := range t.Lines {
+		lines[i] = mem.Line(l)
+	}
+	return tracefile.Write(f, &tracefile.Trace{
+		Lines:        lines,
+		Instructions: t.Instructions,
+		Cycles:       t.Cycles,
+	})
+}
+
+// loadTrace deserializes a saved trace into the engine's input form.
+func loadTrace(path string) (*rapidmrc.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := tracefile.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	out := &rapidmrc.Trace{
+		Instructions: t.Instructions,
+		Cycles:       t.Cycles,
+		Lines:        make([]uint64, len(t.Lines)),
+	}
+	for i, l := range t.Lines {
+		out.Lines[i] = uint64(l)
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+// Command realmrc measures an application's real L2 MRC the exhaustive
+// way (§5.2.1): sixteen complete runs, one per partition size, reading
+// the miss rate from the PMU counters.
+//
+// Usage:
+//
+//	realmrc -app twolf
+//	realmrc -app mcf -mode noprefetch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rapidmrc"
+	"rapidmrc/internal/report"
+)
+
+func main() {
+	var (
+		app  = flag.String("app", "mcf", "application name")
+		seed = flag.Int64("seed", 1, "deterministic seed")
+		mode = flag.String("mode", "complex", "machine mode: complex, noprefetch, simplified")
+		noL3 = flag.Bool("no-l3", false, "disable the victim L3 cache")
+	)
+	flag.Parse()
+
+	opts := []rapidmrc.SystemOption{rapidmrc.WithSeed(*seed)}
+	switch *mode {
+	case "complex":
+	case "noprefetch":
+		opts = append(opts, rapidmrc.WithoutPrefetch())
+	case "simplified":
+		opts = append(opts, rapidmrc.WithSimplifiedMode())
+	default:
+		fmt.Fprintf(os.Stderr, "realmrc: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+	if *noL3 {
+		opts = append(opts, rapidmrc.WithoutL3())
+	}
+
+	curve, err := rapidmrc.RealCurve(*app, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "realmrc:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Real L2 MRC for %s (%s mode)\n\n", *app, *mode)
+	x := make([]float64, len(curve.MPKI))
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	fmt.Print(report.Series("colors", x, []string{"MPKI"}, [][]float64{curve.MPKI}))
+	fmt.Print(report.Plot(*app, []string{"MPKI"}, [][]float64{curve.MPKI}, 48, 12))
+}

@@ -1,0 +1,68 @@
+package rapidmrc_test
+
+import (
+	"fmt"
+
+	"rapidmrc"
+)
+
+// ExampleChoosePartition sizes partitions from two curves: a
+// cache-sensitive application (declining curve) against a streaming one
+// (flat curve) — the sensitive application receives nearly everything.
+func ExampleChoosePartition() {
+	sensitive := &rapidmrc.Curve{MPKI: []float64{
+		48, 44, 40, 36, 32, 28, 24, 20, 16, 12, 8, 6, 4, 3, 2, 1,
+	}}
+	streaming := &rapidmrc.Curve{MPKI: []float64{
+		9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9,
+	}}
+	a, b := rapidmrc.ChoosePartition(sensitive, streaming, rapidmrc.Colors)
+	fmt.Printf("sensitive: %d colors, streaming: %d colors\n", a, b)
+	// Output:
+	// sensitive: 15 colors, streaming: 1 colors
+}
+
+// ExampleCurve_Transpose shows the v-offset correction: the calculated
+// curve is shifted so its point at the currently configured size matches
+// the miss rate measured with plain PMU counters.
+func ExampleCurve_Transpose() {
+	calculated := &rapidmrc.Curve{MPKI: []float64{
+		20, 18, 16, 14, 12, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0.5,
+	}}
+	measuredAt16 := 3.5 // from the PMU, essentially free
+	shift := calculated.Transpose(16, measuredAt16)
+	fmt.Printf("shift %+.1f, curve at 1 color now %.1f\n", shift, calculated.At(1))
+	// Output:
+	// shift +3.0, curve at 1 color now 23.0
+}
+
+// ExampleEngine_Compute runs the Mattson stack simulator over a trace
+// whose reuse distance is exactly 2000 lines: the resulting curve is a
+// step function with its knee at 3 colors (2000 lines < 3×960).
+func ExampleEngine_Compute() {
+	trace := &rapidmrc.Trace{Instructions: 150_000}
+	for i := 0; i < 50_000; i++ {
+		trace.Lines = append(trace.Lines, uint64(i%2000))
+	}
+	curve, _, err := rapidmrc.NewEngine().Compute(trace)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("MPKI at 2 colors %.0f, at 3 colors %.0f\n", curve.At(2), curve.At(3))
+	// Output:
+	// MPKI at 2 colors 333, at 3 colors 0
+}
+
+// ExampleNewPhaseDetector feeds the detector a miss-rate timeline with
+// one step change.
+func ExampleNewPhaseDetector() {
+	d := rapidmrc.NewPhaseDetector()
+	timeline := []float64{10, 10, 10, 10, 10, 42, 42, 42, 42}
+	for i, mpki := range timeline {
+		if d.Observe(mpki) {
+			fmt.Printf("transition at interval %d\n", i)
+		}
+	}
+	// Output:
+	// transition at interval 5
+}

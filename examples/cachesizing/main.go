@@ -1,0 +1,39 @@
+// Cache sizing for energy (use case (i) in §1 of the paper): use an
+// online MRC to find the smallest L2 allocation at which an application
+// still performs within a tolerance of its full-cache miss rate. The
+// remaining colors could be powered down or given away.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rapidmrc"
+)
+
+func main() {
+	const tolerance = 1.10 // accept ≤10% more misses than the full cache
+
+	fmt.Println("app          full-cache MPKI   min colors   MPKI there")
+	for _, app := range []string{"crafty", "gzip", "twolf", "art", "libquantum"} {
+		curve, _, _, err := rapidmrc.Online(app, rapidmrc.WithSeed(3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		full := curve.At(rapidmrc.Colors)
+		// Smallest size within tolerance. A curve that never comes close
+		// (a pure stream like libquantum) can run in a single color.
+		budget := full * tolerance
+		if full < 0.5 {
+			budget = full + 0.5 // absolute floor for near-zero curves
+		}
+		choice := rapidmrc.Colors
+		for k := 1; k <= rapidmrc.Colors; k++ {
+			if curve.At(k) <= budget {
+				choice = k
+				break
+			}
+		}
+		fmt.Printf("%-12s %12.2f %12d %12.2f\n", app, full, choice, curve.At(choice))
+	}
+}

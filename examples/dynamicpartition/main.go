@@ -1,0 +1,51 @@
+// Dynamic repartitioning (the paper's §5.3 future-work vision): a
+// closed-loop manager watches co-scheduled applications' miss rates,
+// re-profiles with RapidMRC when a phase transition is detected, and
+// migrates pages to the newly optimal partition split.
+//
+// mcf's staircase MRC wants most of the cache; crafty and povray are
+// cache-insensitive. Starting from a blind even split, the manager
+// profiles everyone, consolidates the insensitive pair into a small
+// shared remainder (the paper's "pollute buffer" heuristic falls out of
+// the utility function), and keeps tracking mcf's phase changes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rapidmrc"
+)
+
+func main() {
+	apps := []string{"mcf", "crafty", "povray"}
+	mgr, err := rapidmrc.NewManager(apps,
+		rapidmrc.WithSeed(11),
+		rapidmrc.WithoutL3(),
+		rapidmrc.WithTraceBuffer(256), // §6 hardware: cheap recurring probes
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// mcf's phases are 20M/10M instructions; 70 one-million-instruction
+	// intervals cover two full cycles.
+	fmt.Println("interval  allocation        activity")
+	prev := fmt.Sprint(mgr.Allocation())
+	for i := 0; i < 70; i++ {
+		st := mgr.Run(1)
+		cur := fmt.Sprint(mgr.Allocation())
+		if cur != prev {
+			fmt.Printf("%8d  %-16s ← repartitioned (%d pages migrated so far)\n",
+				i, cur, st.PagesMigrated)
+			prev = cur
+		}
+	}
+
+	st := mgr.Run(0)
+	fmt.Printf("\n%d transitions, %d recomputations, %d repartitions, %d pages migrated\n",
+		st.Transitions, st.Recomputations, st.Repartitions, st.PagesMigrated)
+	for _, r := range mgr.Results() {
+		fmt.Printf("%-8s %2d colors  IPC %.3f\n", r.App, r.Colors, r.IPC)
+	}
+}

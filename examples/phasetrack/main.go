@@ -1,0 +1,53 @@
+// Phase tracking (§5.2.2): monitor an application's L2 miss rate in
+// fixed instruction intervals with free-running PMU counters, detect
+// phase transitions with the paper's heuristic, and recompute the MRC
+// whenever the program's behaviour shifts.
+//
+// mcf alternates between a heavy phase and a mild one; its MRC differs
+// substantially between them (Figure 2b), so a single curve computed at
+// the wrong moment would missize any partition built from it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rapidmrc"
+)
+
+func main() {
+	sys, err := rapidmrc.NewSystem("mcf",
+		rapidmrc.WithSeed(7), rapidmrc.WithTraceEntries(40_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	detector := rapidmrc.NewPhaseDetector()
+	engine := rapidmrc.NewEngine()
+
+	const interval = 1_000_000 // instructions per monitoring interval
+	recomputes := 0
+	fmt.Println("interval  MPKI    event")
+	for i := 0; i < 40; i++ {
+		mpki := sys.MeasureMPKI(interval)
+		event := ""
+		if detector.Observe(mpki) {
+			// The miss rate moved: the cached MRC is stale. Re-probe.
+			trace := sys.Capture()
+			curve, _, err := engine.Compute(trace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			curve.Transpose(16, sys.MeasureMPKI(interval))
+			recomputes++
+			event = fmt.Sprintf("phase transition → recomputed MRC (%.1f → %.1f MPKI across sizes)",
+				curve.At(1), curve.At(16))
+		}
+		fmt.Printf("%8d  %6.2f  %s\n", i, mpki, event)
+	}
+	fmt.Printf("\n%d transitions detected, %d MRC recomputations\n",
+		detector.Transitions(), recomputes)
+	if recomputes == 0 {
+		log.Fatal("expected at least one phase transition in mcf")
+	}
+}

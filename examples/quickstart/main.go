@@ -1,0 +1,55 @@
+// Quickstart: compute an online L2 miss rate curve for one application
+// in three steps — capture a PMU trace, run it through the Mattson stack
+// engine, and anchor the curve at a measured point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rapidmrc"
+)
+
+func main() {
+	// Boot the simulated POWER5 running twolf and let it reach steady
+	// state.
+	sys, err := rapidmrc.NewSystem("twolf", rapidmrc.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Run(1_000_000)
+
+	// Step 1 — capture: one probing period of continuous data-address
+	// sampling (every L1-D miss logs its line address).
+	trace := sys.Capture()
+	fmt.Printf("captured %d entries in %d Mcycles (%d dropped, %d stale)\n",
+		len(trace.Lines), trace.Cycles/1e6, trace.Dropped, trace.Stale)
+
+	// Step 2 — compute: correct the trace and run the LRU stack
+	// simulator to get the raw curve.
+	curve, stats, err := rapidmrc.NewEngine().Compute(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("computed in %d modeled Mcycles (warmup %d entries, stack hit rate %.0f%%)\n",
+		stats.ComputeCycles/1e6, stats.WarmupEntries, 100*stats.StackHitRate)
+
+	// Step 3 — transpose: measure the current miss rate with plain PMU
+	// counters and shift the curve to match it at the current size
+	// (16 colors — the whole cache).
+	measured := sys.MeasureMPKI(300_000)
+	shift := curve.Transpose(16, measured)
+	fmt.Printf("anchored at 16 colors = %.2f MPKI (shift %+.2f)\n\n", measured, shift)
+
+	fmt.Println("colors  MPKI")
+	for i, v := range curve.MPKI {
+		fmt.Printf("%4d   %6.2f\n", i+1, v)
+	}
+
+	// Or do all of the above in one call:
+	oneShot, _, _, err := rapidmrc.Online("twolf", rapidmrc.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nOnline() one-shot MPKI@16 = %.2f\n", oneShot.At(16))
+}

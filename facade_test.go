@@ -1,0 +1,100 @@
+package rapidmrc
+
+import "testing"
+
+func TestCoRunFacade(t *testing.T) {
+	apps := []string{"crafty", "gzip"}
+	base, err := CoRun(apps, nil, 100_000, 100_000, WithSeed(2), WithoutL3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 2 {
+		t.Fatalf("%d results", len(base))
+	}
+	for i, r := range base {
+		if r.App != apps[i] || r.Colors != 16 {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+		if r.IPC <= 0 || r.Instructions == 0 || r.Cycles == 0 {
+			t.Fatalf("empty metrics: %+v", r)
+		}
+	}
+	part, err := CoRun(apps, []int{10, 6}, 100_000, 100_000, WithSeed(2), WithoutL3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part[0].Colors != 10 || part[1].Colors != 6 {
+		t.Fatalf("allocation not honored: %+v", part)
+	}
+}
+
+func TestCoRunFacadeValidation(t *testing.T) {
+	if _, err := CoRun([]string{"crafty"}, []int{1, 2}, 10, 10); err == nil {
+		t.Error("mismatched alloc accepted")
+	}
+	if _, err := CoRun([]string{"nope", "crafty"}, nil, 10, 10); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := CoRun([]string{"crafty", "gzip"}, []int{0, 16}, 10, 10); err == nil {
+		t.Error("zero-color allocation accepted")
+	}
+	if _, err := CoRun([]string{"crafty", "gzip"}, []int{12, 12}, 10, 10); err == nil {
+		t.Error("overflowing allocation accepted")
+	}
+}
+
+func TestManagerFacade(t *testing.T) {
+	mgr, err := NewManager([]string{"crafty", "gzip"},
+		WithSeed(3), WithoutL3(), WithTraceBuffer(256), WithTraceEntries(12_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := mgr.Allocation()
+	if alloc[0]+alloc[1] != Colors {
+		t.Fatalf("initial allocation %v", alloc)
+	}
+	st := mgr.Run(6)
+	if st.Intervals != 6 {
+		t.Fatalf("intervals = %d", st.Intervals)
+	}
+	res := mgr.Results()
+	if len(res) != 2 || res[0].App != "crafty" {
+		t.Fatalf("results = %+v", res)
+	}
+	for _, r := range res {
+		if r.IPC <= 0 {
+			t.Fatalf("no progress: %+v", r)
+		}
+	}
+}
+
+func TestManagerFacadeValidation(t *testing.T) {
+	if _, err := NewManager([]string{"nope", "crafty"}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := NewManager([]string{"crafty"}); err == nil {
+		t.Error("single app accepted")
+	}
+}
+
+func TestBufferedSystemCapture(t *testing.T) {
+	sys, err := NewSystem("mcf", WithSeed(1), WithTraceBuffer(128), WithTraceEntries(8_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(100_000)
+	tr := sys.Capture()
+	if tr.Dropped != 0 || tr.Stale != 0 {
+		t.Fatalf("buffered capture lossy: %+v", tr)
+	}
+	// And far cheaper than the classic capture.
+	classic, err := NewSystem("mcf", WithSeed(1), WithTraceEntries(8_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic.Run(100_000)
+	trc := classic.Capture()
+	if tr.Cycles >= trc.Cycles/2 {
+		t.Fatalf("buffered capture %d cycles not well below classic %d", tr.Cycles, trc.Cycles)
+	}
+}

@@ -1,0 +1,3 @@
+module rapidmrc
+
+go 1.22

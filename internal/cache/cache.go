@@ -1,0 +1,246 @@
+// Package cache implements set-associative caches with true-LRU
+// replacement, plus a trace replayer used for the Dinero-style
+// associativity study (Figure 5d of the paper).
+//
+// The model operates on cache-line addresses (mem.Line). A Cache knows
+// nothing about levels; the platform package wires L1/L2/L3 hierarchies
+// together and decides which accesses reach which level.
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rapidmrc/internal/mem"
+)
+
+// Config describes one cache.
+type Config struct {
+	// Name labels the cache in stats output (e.g. "L1D", "L2").
+	Name string
+	// SizeBytes is the total capacity in bytes.
+	SizeBytes int64
+	// LineSize is the line size in bytes; must be a power of two.
+	LineSize int
+	// Ways is the associativity. Zero means fully associative.
+	Ways int
+	// Policy is the replacement policy (default LRU). Non-LRU policies
+	// require bounded associativity (Ways in 1..wideSetThreshold).
+	Policy Policy
+	// Seed drives the Random policy's victim choice.
+	Seed int64
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d is not a positive power of two", c.Name, c.LineSize)
+	}
+	if c.SizeBytes <= 0 || c.SizeBytes%int64(c.LineSize) != 0 {
+		return fmt.Errorf("cache %s: size %d is not a positive multiple of line size %d", c.Name, c.SizeBytes, c.LineSize)
+	}
+	lines := c.SizeBytes / int64(c.LineSize)
+	ways := int64(c.Ways)
+	if c.Ways == 0 {
+		ways = lines
+	}
+	if ways <= 0 || lines%ways != 0 {
+		return fmt.Errorf("cache %s: %d lines not divisible by %d ways", c.Name, lines, ways)
+	}
+	if c.Policy != LRU && (c.Ways <= 0 || c.Ways > wideSetThreshold) {
+		return fmt.Errorf("cache %s: policy %v requires 1..%d ways", c.Name, c.Policy, wideSetThreshold)
+	}
+	return nil
+}
+
+// Lines returns the total number of lines the cache holds.
+func (c Config) Lines() int { return int(c.SizeBytes / int64(c.LineSize)) }
+
+// Sets returns the number of sets.
+func (c Config) Sets() int {
+	if c.Ways == 0 {
+		return 1
+	}
+	return c.Lines() / c.Ways
+}
+
+// Stats accumulates access counts for one cache.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	// Writebacks counts dirty evictions (only meaningful for write-back
+	// caches; the platform marks lines dirty on store).
+	Writebacks uint64
+}
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Result describes the outcome of one access.
+type Result struct {
+	Hit bool
+	// Evicted reports whether a valid line was displaced to make room.
+	Evicted bool
+	// Victim is the displaced line when Evicted is true.
+	Victim mem.Line
+	// VictimDirty reports whether the displaced line was dirty.
+	VictimDirty bool
+}
+
+// Cache is a set-associative cache with true-LRU replacement within each
+// set. It is indexed by line address modulo the set count, which matches a
+// physically indexed cache when fed physical line numbers.
+//
+// A Cache is not safe for concurrent use.
+type Cache struct {
+	cfg   Config
+	sets  []set
+	stats Stats
+}
+
+// New builds a cache from cfg. It panics if cfg is invalid; configurations
+// are compile-time decisions in this codebase, so an invalid one is a
+// programming error rather than a runtime condition.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.Sets()
+	ways := cfg.Ways
+	if ways == 0 {
+		ways = cfg.Lines()
+	}
+	c := &Cache{cfg: cfg, sets: make([]set, nsets)}
+	var rng *rand.Rand
+	if cfg.Policy == Random {
+		rng = rand.New(rand.NewSource(cfg.Seed ^ 0xcace))
+	}
+	for i := range c.sets {
+		if cfg.Policy == LRU {
+			c.sets[i] = newSet(ways)
+		} else {
+			c.sets[i] = newPolicySet(cfg.Policy, ways, rng)
+		}
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// setIndex maps a line to its set.
+func (c *Cache) setIndex(line mem.Line) int {
+	return int(uint64(line) % uint64(len(c.sets)))
+}
+
+// Access looks up line, allocating it on a miss (evicting the set's LRU
+// line if the set is full). dirty marks the line dirty (store); on a hit it
+// ORs into the existing dirty bit.
+func (c *Cache) Access(line mem.Line, dirty bool) Result {
+	c.stats.Accesses++
+	s := c.sets[c.setIndex(line)]
+	res := s.access(line, dirty)
+	if res.Hit {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+		if res.Evicted {
+			c.stats.Evictions++
+			if res.VictimDirty {
+				c.stats.Writebacks++
+			}
+		}
+	}
+	return res
+}
+
+// Probe reports whether line is present without disturbing LRU order or
+// statistics.
+func (c *Cache) Probe(line mem.Line) bool {
+	return c.sets[c.setIndex(line)].probe(line)
+}
+
+// Touch looks up line and refreshes its LRU position, but never allocates.
+// It returns true on a hit. Statistics are not updated; the platform uses
+// Touch for prefetch-issued lookups it does not want counted as demand
+// accesses.
+func (c *Cache) Touch(line mem.Line) bool {
+	return c.sets[c.setIndex(line)].touch(line)
+}
+
+// Insert places line into the cache without counting an access, evicting
+// the LRU line of its set if needed. It is used for prefetch fills and for
+// victim-cache insertion. If the line is already present its LRU position
+// is refreshed and no eviction happens.
+func (c *Cache) Insert(line mem.Line, dirty bool) Result {
+	s := c.sets[c.setIndex(line)]
+	if s.touch(line) {
+		return Result{Hit: true}
+	}
+	res := s.access(line, dirty)
+	if res.Evicted {
+		c.stats.Evictions++
+		if res.VictimDirty {
+			c.stats.Writebacks++
+		}
+	}
+	return res
+}
+
+// Invalidate removes line if present, returning whether it was present and
+// whether it was dirty.
+func (c *Cache) Invalidate(line mem.Line) (present, dirty bool) {
+	return c.sets[c.setIndex(line)].invalidate(line)
+}
+
+// Flush empties the cache, leaving statistics intact.
+func (c *Cache) Flush() {
+	for _, s := range c.sets {
+		s.flush()
+	}
+}
+
+// Len returns the number of valid lines currently held.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.sets {
+		n += s.len()
+	}
+	return n
+}
+
+// set is the per-set replacement state. Two implementations exist: a slice
+// with move-to-front for ordinary associativities, and a map+list for very
+// wide (fully associative) sets where a linear scan would be too slow.
+type set interface {
+	access(line mem.Line, dirty bool) Result
+	probe(line mem.Line) bool
+	touch(line mem.Line) bool
+	invalidate(line mem.Line) (present, dirty bool)
+	flush()
+	len() int
+}
+
+// wideSetThreshold is the associativity above which the map-based set is
+// used. 64 keeps the common 2/4/10/12-way cases on the fast linear path.
+const wideSetThreshold = 64
+
+func newSet(ways int) set {
+	if ways > wideSetThreshold {
+		return newMapSet(ways)
+	}
+	return &sliceSet{ways: ways}
+}

@@ -1,0 +1,155 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rapidmrc/internal/mem"
+)
+
+// Policy selects the replacement policy of a cache. The stack algorithm
+// RapidMRC builds on assumes LRU (§2.1 of the paper: "the MRC of a Least
+// Recently Used policy may be significantly different from that of a Most
+// Recently Used policy for the same memory access sequence"); the other
+// policies exist for the ablation that quantifies how much the LRU
+// assumption matters.
+type Policy uint8
+
+const (
+	// LRU evicts the least recently used line (the default, and the only
+	// policy with the stack/inclusion property).
+	LRU Policy = iota
+	// FIFO evicts the oldest-inserted line; hits do not refresh.
+	FIFO
+	// Random evicts a uniformly random line (deterministic per cache via
+	// a seeded generator).
+	Random
+	// MRU evicts the most recently used line — pathological for loops
+	// larger than the cache, which is why the paper calls it out.
+	MRU
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	case MRU:
+		return "MRU"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// policySet implements FIFO, Random and MRU for ordinary associativities.
+// For FIFO, lines stays in insertion order; for MRU/Random, lines is kept
+// in recency order like sliceSet but the victim choice differs.
+type policySet struct {
+	policy Policy
+	ways   int
+	lines  []mem.Line
+	dirty  []bool
+	rng    *rand.Rand
+}
+
+func newPolicySet(policy Policy, ways int, rng *rand.Rand) *policySet {
+	return &policySet{policy: policy, ways: ways, rng: rng}
+}
+
+// find returns the index of line or -1.
+func (s *policySet) find(line mem.Line) int {
+	for i, l := range s.lines {
+		if l == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// moveToFront refreshes recency order (MRU/Random bookkeeping; FIFO keeps
+// insertion order, so hits leave the order untouched).
+func (s *policySet) moveToFront(i int, dirty bool) {
+	d := s.dirty[i] || dirty
+	l := s.lines[i]
+	copy(s.lines[1:i+1], s.lines[:i])
+	copy(s.dirty[1:i+1], s.dirty[:i])
+	s.lines[0] = l
+	s.dirty[0] = d
+}
+
+// victimIndex picks the slot to evict from a full set.
+func (s *policySet) victimIndex() int {
+	switch s.policy {
+	case FIFO:
+		return len(s.lines) - 1 // oldest insertion
+	case Random:
+		return s.rng.Intn(len(s.lines))
+	case MRU:
+		return 0 // most recent
+	default:
+		return len(s.lines) - 1
+	}
+}
+
+func (s *policySet) access(line mem.Line, dirty bool) Result {
+	if i := s.find(line); i >= 0 {
+		if s.policy == FIFO {
+			s.dirty[i] = s.dirty[i] || dirty
+		} else {
+			s.moveToFront(i, dirty)
+		}
+		return Result{Hit: true}
+	}
+	res := Result{}
+	if len(s.lines) >= s.ways {
+		v := s.victimIndex()
+		res.Evicted = true
+		res.Victim = s.lines[v]
+		res.VictimDirty = s.dirty[v]
+		s.lines = append(s.lines[:v], s.lines[v+1:]...)
+		s.dirty = append(s.dirty[:v], s.dirty[v+1:]...)
+	}
+	// Insert at the front (newest).
+	s.lines = append(s.lines, 0)
+	s.dirty = append(s.dirty, false)
+	copy(s.lines[1:], s.lines[:len(s.lines)-1])
+	copy(s.dirty[1:], s.dirty[:len(s.dirty)-1])
+	s.lines[0] = line
+	s.dirty[0] = dirty
+	return res
+}
+
+func (s *policySet) probe(line mem.Line) bool { return s.find(line) >= 0 }
+
+func (s *policySet) touch(line mem.Line) bool {
+	i := s.find(line)
+	if i < 0 {
+		return false
+	}
+	if s.policy != FIFO {
+		s.moveToFront(i, s.dirty[i])
+	}
+	return true
+}
+
+func (s *policySet) invalidate(line mem.Line) (present, dirty bool) {
+	i := s.find(line)
+	if i < 0 {
+		return false, false
+	}
+	d := s.dirty[i]
+	s.lines = append(s.lines[:i], s.lines[i+1:]...)
+	s.dirty = append(s.dirty[:i], s.dirty[i+1:]...)
+	return true, d
+}
+
+func (s *policySet) flush() {
+	s.lines = s.lines[:0]
+	s.dirty = s.dirty[:0]
+}
+
+func (s *policySet) len() int { return len(s.lines) }

@@ -1,0 +1,136 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"rapidmrc/internal/mem"
+)
+
+func TestPolicyString(t *testing.T) {
+	want := map[Policy]string{LRU: "LRU", FIFO: "FIFO", Random: "Random", MRU: "MRU", Policy(9): "Policy(9)"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	bad := Config{Name: "x", SizeBytes: 128 * 1024, LineSize: 128, Ways: 0, Policy: FIFO}
+	if err := bad.Validate(); err == nil {
+		t.Error("fully associative FIFO accepted")
+	}
+	good := Config{Name: "x", SizeBytes: 128 * 64, LineSize: 128, Ways: 4, Policy: Random}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid random config rejected: %v", err)
+	}
+}
+
+func TestFIFOHitsDoNotRefresh(t *testing.T) {
+	c := New(Config{Name: "f", SizeBytes: 128 * 3, LineSize: 128, Ways: 3, Policy: FIFO})
+	c.Access(1, false)
+	c.Access(2, false)
+	c.Access(3, false)
+	// Hit 1 repeatedly: under LRU it would survive; under FIFO it is
+	// still the oldest and must be the next victim.
+	c.Access(1, false)
+	c.Access(1, false)
+	res := c.Access(4, false)
+	if !res.Evicted || res.Victim != 1 {
+		t.Fatalf("FIFO victim = %+v, want eviction of line 1", res)
+	}
+}
+
+func TestMRUEvictsNewest(t *testing.T) {
+	c := New(Config{Name: "m", SizeBytes: 128 * 3, LineSize: 128, Ways: 3, Policy: MRU})
+	c.Access(1, false)
+	c.Access(2, false)
+	c.Access(3, false) // MRU = 3
+	res := c.Access(4, false)
+	if !res.Evicted || res.Victim != 3 {
+		t.Fatalf("MRU victim = %+v, want eviction of line 3", res)
+	}
+	// MRU keeps old lines forever: 1 and 2 must still be present.
+	if !c.Probe(1) || !c.Probe(2) {
+		t.Fatal("MRU evicted an old line")
+	}
+}
+
+func TestMRUBeatsLRUOnOversizedLoop(t *testing.T) {
+	// The textbook case (§2.1): a cyclic loop one line larger than the
+	// cache. LRU misses every access; MRU retains most of the loop.
+	loop := func(p Policy) float64 {
+		c := New(Config{Name: "l", SizeBytes: 128 * 8, LineSize: 128, Ways: 8, Policy: p})
+		for pass := 0; pass < 50; pass++ {
+			for l := mem.Line(0); l < 9; l++ {
+				c.Access(l, false)
+			}
+		}
+		return c.Stats().MissRate()
+	}
+	lru, mru := loop(LRU), loop(MRU)
+	if lru < 0.99 {
+		t.Fatalf("LRU on an oversized loop should thrash: %v", lru)
+	}
+	if mru > 0.3 {
+		t.Fatalf("MRU on an oversized loop should mostly hit: %v", mru)
+	}
+}
+
+func TestRandomPolicyDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) uint64 {
+		c := New(Config{Name: "r", SizeBytes: 128 * 8, LineSize: 128, Ways: 8, Policy: Random, Seed: seed})
+		r := rand.New(rand.NewSource(3))
+		for i := 0; i < 20_000; i++ {
+			c.Access(mem.Line(r.Intn(24)), false)
+		}
+		return c.Stats().Misses
+	}
+	if run(1) != run(1) {
+		t.Fatal("same seed produced different miss counts")
+	}
+	// Random eviction misses more than LRU on a skew-free working set
+	// slightly above capacity... assert only sane bounds.
+	m := run(2)
+	if m == 0 || m > 20_000 {
+		t.Fatalf("implausible miss count %d", m)
+	}
+}
+
+func TestPolicySetTouchAndInvalidate(t *testing.T) {
+	for _, p := range []Policy{FIFO, Random, MRU} {
+		c := New(Config{Name: "t", SizeBytes: 128 * 4, LineSize: 128, Ways: 4, Policy: p, Seed: 1})
+		c.Access(1, true)
+		c.Access(2, false)
+		if !c.Touch(1) || c.Touch(99) {
+			t.Fatalf("%v: touch misbehaves", p)
+		}
+		present, dirty := c.Invalidate(1)
+		if !present || !dirty {
+			t.Fatalf("%v: invalidate = (%v, %v)", p, present, dirty)
+		}
+		if c.Probe(1) {
+			t.Fatalf("%v: line survived invalidate", p)
+		}
+		c.Flush()
+		if c.Len() != 0 {
+			t.Fatalf("%v: flush left %d lines", p, c.Len())
+		}
+	}
+}
+
+// TestLRUPolicySetEquivalence: a policySet in MRU/Random mode still obeys
+// set semantics; and replaying identical traces through Config{Policy:
+// LRU} and the default path must agree exactly.
+func TestPolicyLRUDefaultUnchanged(t *testing.T) {
+	a := New(Config{Name: "a", SizeBytes: 128 * 16, LineSize: 128, Ways: 4})
+	b := New(Config{Name: "b", SizeBytes: 128 * 16, LineSize: 128, Ways: 4, Policy: LRU})
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 10_000; i++ {
+		l := mem.Line(r.Intn(64))
+		if a.Access(l, false) != b.Access(l, false) {
+			t.Fatalf("explicit LRU diverges at op %d", i)
+		}
+	}
+}

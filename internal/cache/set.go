@@ -1,0 +1,183 @@
+package cache
+
+import "rapidmrc/internal/mem"
+
+// sliceSet keeps ways in MRU→LRU order in a slice. Lookup and
+// move-to-front are O(ways), which beats pointer chasing for the small
+// associativities real caches use.
+type sliceSet struct {
+	ways  int
+	lines []mem.Line
+	dirty []bool
+}
+
+func (s *sliceSet) access(line mem.Line, dirty bool) Result {
+	for i, l := range s.lines {
+		if l == line {
+			d := s.dirty[i] || dirty
+			copy(s.lines[1:i+1], s.lines[:i])
+			copy(s.dirty[1:i+1], s.dirty[:i])
+			s.lines[0] = line
+			s.dirty[0] = d
+			return Result{Hit: true}
+		}
+	}
+	// Miss: allocate at MRU, evicting the LRU entry if full.
+	if len(s.lines) < s.ways {
+		s.lines = append(s.lines, 0)
+		s.dirty = append(s.dirty, false)
+		copy(s.lines[1:], s.lines[:len(s.lines)-1])
+		copy(s.dirty[1:], s.dirty[:len(s.dirty)-1])
+		s.lines[0] = line
+		s.dirty[0] = dirty
+		return Result{}
+	}
+	n := len(s.lines)
+	victim := s.lines[n-1]
+	victimDirty := s.dirty[n-1]
+	copy(s.lines[1:], s.lines[:n-1])
+	copy(s.dirty[1:], s.dirty[:n-1])
+	s.lines[0] = line
+	s.dirty[0] = dirty
+	return Result{Evicted: true, Victim: victim, VictimDirty: victimDirty}
+}
+
+func (s *sliceSet) probe(line mem.Line) bool {
+	for _, l := range s.lines {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *sliceSet) touch(line mem.Line) bool {
+	for i, l := range s.lines {
+		if l == line {
+			d := s.dirty[i]
+			copy(s.lines[1:i+1], s.lines[:i])
+			copy(s.dirty[1:i+1], s.dirty[:i])
+			s.lines[0] = line
+			s.dirty[0] = d
+			return true
+		}
+	}
+	return false
+}
+
+func (s *sliceSet) invalidate(line mem.Line) (present, dirty bool) {
+	for i, l := range s.lines {
+		if l == line {
+			d := s.dirty[i]
+			s.lines = append(s.lines[:i], s.lines[i+1:]...)
+			s.dirty = append(s.dirty[:i], s.dirty[i+1:]...)
+			return true, d
+		}
+	}
+	return false, false
+}
+
+func (s *sliceSet) flush() {
+	s.lines = s.lines[:0]
+	s.dirty = s.dirty[:0]
+}
+
+func (s *sliceSet) len() int { return len(s.lines) }
+
+// mapSet implements a wide (e.g. fully associative) set as a hash map plus
+// an intrusive doubly-linked LRU list, giving O(1) operations.
+type mapSet struct {
+	ways  int
+	nodes map[mem.Line]*lruNode
+	head  *lruNode // MRU
+	tail  *lruNode // LRU
+}
+
+type lruNode struct {
+	line       mem.Line
+	dirty      bool
+	prev, next *lruNode
+}
+
+func newMapSet(ways int) *mapSet {
+	return &mapSet{ways: ways, nodes: make(map[mem.Line]*lruNode, ways)}
+}
+
+func (s *mapSet) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (s *mapSet) pushFront(n *lruNode) {
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+func (s *mapSet) access(line mem.Line, dirty bool) Result {
+	if n, ok := s.nodes[line]; ok {
+		n.dirty = n.dirty || dirty
+		s.unlink(n)
+		s.pushFront(n)
+		return Result{Hit: true}
+	}
+	res := Result{}
+	if len(s.nodes) >= s.ways {
+		v := s.tail
+		s.unlink(v)
+		delete(s.nodes, v.line)
+		res.Evicted = true
+		res.Victim = v.line
+		res.VictimDirty = v.dirty
+	}
+	n := &lruNode{line: line, dirty: dirty}
+	s.nodes[line] = n
+	s.pushFront(n)
+	return res
+}
+
+func (s *mapSet) probe(line mem.Line) bool {
+	_, ok := s.nodes[line]
+	return ok
+}
+
+func (s *mapSet) touch(line mem.Line) bool {
+	n, ok := s.nodes[line]
+	if !ok {
+		return false
+	}
+	s.unlink(n)
+	s.pushFront(n)
+	return true
+}
+
+func (s *mapSet) invalidate(line mem.Line) (present, dirty bool) {
+	n, ok := s.nodes[line]
+	if !ok {
+		return false, false
+	}
+	s.unlink(n)
+	delete(s.nodes, line)
+	return true, n.dirty
+}
+
+func (s *mapSet) flush() {
+	s.nodes = make(map[mem.Line]*lruNode, s.ways)
+	s.head, s.tail = nil, nil
+}
+
+func (s *mapSet) len() int { return len(s.nodes) }

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rapidmrc/internal/mem"
+)
+
+func TestNaiveStackBasics(t *testing.T) {
+	s := NewNaiveStack(3)
+	if d := s.Reference(10); d != Infinite {
+		t.Fatalf("cold reference distance = %d", d)
+	}
+	if d := s.Reference(10); d != 1 {
+		t.Fatalf("immediate re-reference distance = %d, want 1", d)
+	}
+	s.Reference(20)
+	s.Reference(30)
+	if !s.Full() {
+		t.Fatal("stack not full after 3 distinct lines")
+	}
+	// 10 is now at the bottom: distance 3.
+	if d := s.Reference(10); d != 3 {
+		t.Fatalf("distance = %d, want 3", d)
+	}
+	// Overflow: 40 evicts the LRU (20).
+	s.Reference(40)
+	if d := s.Reference(20); d != Infinite {
+		t.Fatalf("evicted line distance = %d, want Infinite", d)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+}
+
+func TestNaiveStackPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for capacity 0")
+		}
+	}()
+	NewNaiveStack(0)
+}
+
+func TestRangeStackPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for capacity -1")
+		}
+	}()
+	NewRangeStack(-1, 4)
+}
+
+// TestRangeStackMatchesNaive is the central property test: on arbitrary
+// traces, the range-list stack must return exactly the distances of the
+// textbook stack.
+func TestRangeStackMatchesNaive(t *testing.T) {
+	f := func(seed int64, cap16 uint16, gs8 uint8, footprint16 uint16) bool {
+		capacity := int(cap16%300) + 2
+		groupSize := int(gs8%16) + 2
+		footprint := int(footprint16%600) + 1
+		r := rand.New(rand.NewSource(seed))
+		naive := NewNaiveStack(capacity)
+		rng := NewRangeStack(capacity, groupSize)
+		for i := 0; i < 3000; i++ {
+			line := mem.Line(r.Intn(footprint))
+			dn := naive.Reference(line)
+			dr := rng.Reference(line)
+			if dn != dr {
+				t.Logf("seed=%d cap=%d gs=%d: ref %d line %d: naive %d range %d",
+					seed, capacity, groupSize, i, line, dn, dr)
+				return false
+			}
+			if naive.Len() != rng.Len() || naive.Full() != rng.Full() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeStackDefaultGroupSize(t *testing.T) {
+	s := NewRangeStack(100, 0)
+	if s.groupSize != DefaultGroupSize {
+		t.Fatalf("groupSize = %d, want default %d", s.groupSize, DefaultGroupSize)
+	}
+}
+
+func TestStackWalksAccumulate(t *testing.T) {
+	s := NewRangeStack(100, 4)
+	for i := 0; i < 200; i++ {
+		s.Reference(mem.Line(i % 150))
+	}
+	if s.Walks() == 0 {
+		t.Fatal("walks never accumulated")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{},
+		{StackLines: -1, Points: 16, LinesPerPoint: 960},
+		{StackLines: 15360, Points: 0, LinesPerPoint: 960},
+		{StackLines: 15360, Points: 16, LinesPerPoint: 0},
+		{StackLines: 100, Points: 16, LinesPerPoint: 960}, // points exceed stack
+		{StackLines: 15360, Points: 16, LinesPerPoint: 960, StaticWarmupFrac: 1.0},
+		{StackLines: 15360, Points: 16, LinesPerPoint: 960, StaticWarmupFrac: -0.1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestComputeEmptyTrace(t *testing.T) {
+	if _, err := Compute(nil, 1000, DefaultConfig()); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+// cyclicTrace builds a trace cycling over n distinct lines (stack
+// distance exactly n after the first pass).
+func cyclicTrace(n, length int) []mem.Line {
+	out := make([]mem.Line, length)
+	for i := range out {
+		out[i] = mem.Line(i % n)
+	}
+	return out
+}
+
+func TestComputeKneeAtWorkingSetSize(t *testing.T) {
+	cfg := DefaultConfig()
+	// 3000 distinct lines = 3.125 colors: the MRC must be ≈1000×refs/instr
+	// below 4 colors and ≈0 at or above 4 colors.
+	trace := cyclicTrace(3000, 160_000)
+	instr := uint64(480_000) // 3 instructions per reference
+	res, err := Compute(trace, instr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.MRC
+	if len(m.MPKI) != 16 {
+		t.Fatalf("%d points", len(m.MPKI))
+	}
+	if m.At(1) < 300 {
+		t.Errorf("MPKI@1 = %v, want ≈333 (every ref missing)", m.At(1))
+	}
+	if m.At(4) > 5 {
+		t.Errorf("MPKI@4 = %v, want ≈0 (3000 lines fit 3840)", m.At(4))
+	}
+	if m.At(16) > 5 {
+		t.Errorf("MPKI@16 = %v, want ≈0", m.At(16))
+	}
+	// A 3000-line cycle can never fill the 15,360-line stack: the static
+	// warmup fallback must engage.
+	if res.AutoWarmup {
+		t.Error("AutoWarmup true though the stack cannot fill")
+	}
+	if res.WarmupEntries != 80_000 {
+		t.Errorf("static warmup = %d entries, want half the log", res.WarmupEntries)
+	}
+}
+
+func TestComputeWarmupAutomatic(t *testing.T) {
+	cfg := DefaultConfig()
+	// A trace touching > StackLines distinct lines fills the stack:
+	// automatic warmup must engage before the static half.
+	trace := cyclicTrace(20_000, 160_000)
+	res, err := Compute(trace, 160_000*3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AutoWarmup {
+		t.Fatal("stack filled but AutoWarmup false")
+	}
+	if res.WarmupEntries >= 80_000 {
+		t.Fatalf("auto warmup used %d entries, want < static half", res.WarmupEntries)
+	}
+	// A 20k cycle never hits a 15,360-line stack: hit rate 0.
+	if res.StackHitRate != 0 {
+		t.Errorf("stack hit rate = %v, want 0 for an over-capacity cycle", res.StackHitRate)
+	}
+	// All points miss: flat maximal MRC.
+	if res.MRC.At(16) < res.MRC.At(1)*0.99 {
+		t.Errorf("over-capacity cycle should be flat: %v vs %v", res.MRC.At(16), res.MRC.At(1))
+	}
+}
+
+func TestComputeWarmupStaticFallback(t *testing.T) {
+	cfg := DefaultConfig()
+	trace := cyclicTrace(500, 10_000) // small working set: stack never fills
+	res, err := Compute(trace, 30_000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AutoWarmup {
+		t.Fatal("AutoWarmup true though stack cannot fill")
+	}
+	if res.WarmupEntries != 5_000 {
+		t.Fatalf("static warmup = %d entries, want half the log", res.WarmupEntries)
+	}
+	if res.StackHitRate < 0.999 {
+		t.Errorf("hit rate = %v, want 1.0 after warm cycle", res.StackHitRate)
+	}
+}
+
+func TestComputeWarmupConsumesEverything(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StaticWarmupFrac = 0.999
+	trace := cyclicTrace(5, 10)
+	// 0.999 × 10 = 9.99 → warmup stops at entry 9, one recorded: fine.
+	if _, err := Compute(trace, 100, cfg); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestMRCMonotoneNonIncreasing is the fundamental stack-algorithm
+// property: for any trace, Miss(size) cannot increase with size.
+func TestMRCMonotoneNonIncreasing(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		trace := make([]mem.Line, 30_000)
+		for i := range trace {
+			// Mixture of a chase, a hot set, and cold misses.
+			switch r.Intn(3) {
+			case 0:
+				trace[i] = mem.Line(r.Intn(2000))
+			case 1:
+				trace[i] = mem.Line(5000 + r.Intn(8000))
+			default:
+				trace[i] = mem.Line(100_000 + i)
+			}
+		}
+		res, err := Compute(trace, 90_000, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(res.MRC.MPKI); i++ {
+			if res.MRC.MPKI[i] > res.MRC.MPKI[i-1]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposePreservesShape(t *testing.T) {
+	f := func(raw [16]uint8, refIdx8 uint8, target float64) bool {
+		if math.IsNaN(target) || math.IsInf(target, 0) {
+			return true
+		}
+		target = math.Mod(target, 1000)
+		pts := make([]float64, 16)
+		for i, v := range raw {
+			pts[i] = float64(v)
+		}
+		m := NewMRC(pts)
+		orig := m.Clone()
+		ref := int(refIdx8) % 16
+		shift := m.Transpose(ref, target)
+		if math.Abs(m.MPKI[ref]-target) > 1e-9 {
+			return false
+		}
+		// All pairwise differences unchanged.
+		for i := 1; i < 16; i++ {
+			d0 := orig.MPKI[i] - orig.MPKI[i-1]
+			d1 := m.MPKI[i] - m.MPKI[i-1]
+			if math.Abs(d0-d1) > 1e-9 {
+				return false
+			}
+		}
+		_ = shift
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceMetric(t *testing.T) {
+	a := NewMRC([]float64{1, 2, 3, 4})
+	b := NewMRC([]float64{2, 2, 5, 4})
+	if got := Distance(a, b); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("distance = %v, want 0.75", got)
+	}
+	if got := Distance(a, a.Clone()); got != 0 {
+		t.Fatalf("self distance = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Distance(a, NewMRC([]float64{1}))
+}
+
+func TestCorrectPrefetchRepetitions(t *testing.T) {
+	trace := []mem.Line{5, 5, 5, 5, 9, 9, 7}
+	n := CorrectPrefetchRepetitions(trace)
+	want := []mem.Line{5, 6, 7, 8, 9, 10, 7}
+	if n != 4 {
+		t.Fatalf("converted %d entries, want 4", n)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+	// No repetitions: untouched.
+	clean := []mem.Line{1, 2, 3}
+	if n := CorrectPrefetchRepetitions(clean); n != 0 {
+		t.Fatalf("converted %d entries of a clean trace", n)
+	}
+	if n := CorrectPrefetchRepetitions(nil); n != 0 {
+		t.Fatal("nil trace converted entries")
+	}
+}
+
+// TestCorrectionYieldsAscendingRuns property-tests that after correction
+// no two consecutive entries are equal.
+func TestCorrectionYieldsAscendingRuns(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		trace := make([]mem.Line, 500)
+		cur := mem.Line(r.Intn(100) * 1000)
+		for i := range trace {
+			if r.Intn(3) != 0 {
+				cur = mem.Line(r.Intn(100) * 1000)
+			}
+			trace[i] = cur
+		}
+		CorrectPrefetchRepetitions(trace)
+		for i := 1; i < len(trace); i++ {
+			if trace[i] == trace[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	trace := []mem.Line{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	d4 := Decimate(trace, 4)
+	want := []mem.Line{0, 4, 8}
+	if len(d4) != len(want) {
+		t.Fatalf("decimate(4) = %v", d4)
+	}
+	for i := range want {
+		if d4[i] != want[i] {
+			t.Fatalf("decimate(4) = %v, want %v", d4, want)
+		}
+	}
+	d1 := Decimate(trace, 1)
+	if len(d1) != len(trace) {
+		t.Fatalf("decimate(1) length %d", len(d1))
+	}
+	d1[0] = 99
+	if trace[0] == 99 {
+		t.Fatal("decimate(1) did not copy")
+	}
+	if got := Decimate(nil, 3); len(got) != 0 {
+		t.Fatal("decimate(nil) non-empty")
+	}
+}
+
+func TestModelCyclesScaleWithDepth(t *testing.T) {
+	cfg := DefaultConfig()
+	shallow := cyclicTrace(500, 160_000)
+	deep := cyclicTrace(14_000, 160_000)
+	rs, err := Compute(shallow, 480_000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Compute(deep, 480_000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.ModelCycles <= rs.ModelCycles {
+		t.Fatalf("deep-reuse calc (%d cycles) not costlier than shallow (%d)",
+			rd.ModelCycles, rs.ModelCycles)
+	}
+	// Both should land in the paper's 40–450 M cycle range for a 160k log.
+	for _, r := range []*Result{rs, rd} {
+		if r.ModelCycles < 30e6 || r.ModelCycles > 500e6 {
+			t.Errorf("model cycles %d outside plausible Table 2 range", r.ModelCycles)
+		}
+	}
+}
+
+func TestMRCAtAccessor(t *testing.T) {
+	m := NewMRC([]float64{10, 9, 8})
+	if m.At(1) != 10 || m.At(3) != 8 {
+		t.Fatal("At() misindexes")
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import "rapidmrc/internal/mem"
+
+// CorrectPrefetchRepetitions rewrites the stale-SDAR artifact in place:
+// during hardware prefetch bursts the SDAR is not updated, so the
+// exception handler logs runs of identical line addresses. §3.1.1 handles
+// this by converting the repetitions into a series of ascending cache
+// lines, emulating the values the prefetcher actually touched. The first
+// entry of each run is kept (it is the genuine sample); entry k of the
+// run becomes line+k. It returns the number of entries rewritten
+// (Table 2 column e reports this as a percentage of the log).
+func CorrectPrefetchRepetitions(trace []mem.Line) (converted int) {
+	for i := 1; i < len(trace); i++ {
+		if trace[i] != trace[i-1] {
+			continue
+		}
+		// Found a run starting at i-1; rewrite its tail.
+		base := trace[i-1]
+		k := mem.Line(1)
+		for ; i < len(trace) && trace[i] == base; i++ {
+			trace[i] = base + k
+			k++
+			converted++
+		}
+	}
+	return converted
+}
+
+// Decimate returns a copy of the trace keeping only every nth entry
+// (n ≥ 1), emulating additional PMU event loss for the missed-events
+// study of §5.2.5 ("keep every 4th" keeps entries 0, 4, 8, ...).
+func Decimate(trace []mem.Line, n int) []mem.Line {
+	if n <= 1 {
+		out := make([]mem.Line, len(trace))
+		copy(out, trace)
+		return out
+	}
+	out := make([]mem.Line, 0, len(trace)/n+1)
+	for i := 0; i < len(trace); i += n {
+		out = append(out, trace[i])
+	}
+	return out
+}

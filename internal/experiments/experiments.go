@@ -1,0 +1,258 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated platform. Each driver writes a
+// human-readable report (tables, data series, rough ASCII plots) to an
+// io.Writer and returns the underlying data for programmatic checks.
+//
+// Instruction counts are in simulated units: one simulated instruction
+// stands for workload.Scale (=1000) of the paper's. Quick mode shrinks
+// slices and logs so the full suite runs in seconds; full mode uses the
+// paper's 160k/1600k log sizes.
+package experiments
+
+import (
+	"sort"
+	"sync"
+
+	"rapidmrc/internal/core"
+	"rapidmrc/internal/cpu"
+	"rapidmrc/internal/mem"
+	"rapidmrc/internal/platform"
+	"rapidmrc/internal/workload"
+)
+
+// Config controls the experiment drivers.
+type Config struct {
+	// Seed drives workloads and PMU artifacts.
+	Seed int64
+	// Quick shrinks run lengths for fast benchmarks and CI; full mode
+	// reproduces the paper's parameters.
+	Quick bool
+	// Apps restricts per-application experiments to a subset (nil = all
+	// 30 in Table 2 order).
+	Apps []string
+}
+
+// DefaultConfig returns the full-fidelity configuration.
+func DefaultConfig() Config { return Config{Seed: 1} }
+
+// cpuComplex is a shorthand for the default execution mode in drivers.
+var cpuComplex = cpu.Complex
+
+// apps resolves the application list.
+func (c Config) apps() []string {
+	if len(c.Apps) > 0 {
+		return c.Apps
+	}
+	return workload.Names()
+}
+
+// realCfg returns the real-MRC measurement parameters.
+func (c Config) realCfg(mode cpu.Mode) platform.RealMRCConfig {
+	rc := platform.DefaultRealMRCConfig()
+	rc.Mode = mode
+	rc.Seed = c.Seed
+	if c.Quick {
+		rc.SkipInstructions = 600_000
+		rc.SliceInstructions = 300_000
+	}
+	return rc
+}
+
+// entries returns the trace log length.
+func (c Config) entries() int {
+	if c.Quick {
+		return 48_000
+	}
+	return 160_000
+}
+
+// longEntries returns the long (10×) trace log length (Figure 4a,
+// Table 2 column j).
+func (c Config) longEntries() int { return 10 * c.entries() }
+
+// AppEval bundles everything measured about one application: the real
+// curve, the RapidMRC curve (raw and v-offset-matched at the real curve's
+// 8-color point, as §5.2.1 does), and the Table 2 statistics.
+type AppEval struct {
+	Name string
+	// Real is the offline exhaustively measured MRC.
+	Real []float64
+	// Calc is the raw RapidMRC curve; CalcShifted is Calc transposed to
+	// the real curve's 8-color point.
+	Calc        []float64
+	CalcShifted []float64
+	// Shift is the v-offset applied (Table 2 column h).
+	Shift float64
+	// Distance is the mean MPKI distance after shifting (column i).
+	Distance float64
+	// DistanceLong is the distance with the 10× log (column j);
+	// 0 if not measured.
+	DistanceLong float64
+	// LogCycles is the trace capture time (column a).
+	LogCycles uint64
+	// CalcCycles is the modeled MRC computation time (column b).
+	CalcCycles uint64
+	// CaptureInstr is the application progress during capture (column c).
+	CaptureInstr uint64
+	// ConvertedFrac is the prefetch-conversion fraction of the log
+	// (column e).
+	ConvertedFrac float64
+	// WarmupFrac is the log fraction used for warmup (column f).
+	WarmupFrac float64
+	// AutoWarmup reports whether the stack filled before the static
+	// fallback.
+	AutoWarmup bool
+	// StackHitRate is column g.
+	StackHitRate float64
+	// Dropped counts overlap-lost events during capture.
+	Dropped int
+}
+
+// computeCurve captures a trace of n entries on m and turns it into a raw
+// curve plus bookkeeping. It is the capture+compute half of EvalApp,
+// shared by the mode-sensitivity figures.
+func computeCurve(m *platform.Machine, n int) (*core.Result, platform.Capture, int, error) {
+	cap := m.CollectTrace(n)
+	converted := core.CorrectPrefetchRepetitions(cap.Lines)
+	res, err := core.Compute(cap.Lines, cap.Stats.Instructions, core.DefaultConfig())
+	return res, cap, converted, err
+}
+
+// EvalApp measures one application end to end.
+func EvalApp(name string, cfg Config) (*AppEval, error) {
+	app, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		wg       sync.WaitGroup
+		real     []float64
+		res      *core.Result
+		resLong  *core.Result
+		cap      platform.Capture
+		conv     int
+		calcErr  error
+		longErr  error
+		warmSkip = uint64(2_000_000)
+	)
+	if cfg.Quick {
+		warmSkip = 600_000
+	}
+
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		real = platform.RealMRC(app, cfg.realCfg(cpu.Complex))
+	}()
+	go func() {
+		defer wg.Done()
+		m := platform.NewMachine(workload.New(app, cfg.Seed), platform.Options{
+			Mode: cpu.Complex, L3Enabled: true, Seed: cfg.Seed,
+		})
+		m.RunInstructions(warmSkip)
+		res, cap, conv, calcErr = computeCurve(m, cfg.entries())
+	}()
+	if !cfg.Quick {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := platform.NewMachine(workload.New(app, cfg.Seed), platform.Options{
+				Mode: cpu.Complex, L3Enabled: true, Seed: cfg.Seed,
+			})
+			m.RunInstructions(warmSkip)
+			resLong, _, _, longErr = computeCurve(m, cfg.longEntries())
+		}()
+	}
+	wg.Wait()
+	if calcErr != nil {
+		return nil, calcErr
+	}
+
+	realMRC := core.NewMRC(real)
+	shifted := res.MRC.Clone()
+	shift := shifted.Transpose(7, realMRC.At(8))
+
+	ev := &AppEval{
+		Name:          name,
+		Real:          real,
+		Calc:          res.MRC.MPKI,
+		CalcShifted:   shifted.MPKI,
+		Shift:         shift,
+		Distance:      core.Distance(shifted, realMRC),
+		LogCycles:     cap.Stats.Cycles,
+		CalcCycles:    res.ModelCycles,
+		CaptureInstr:  cap.Stats.Instructions,
+		ConvertedFrac: float64(conv) / float64(len(cap.Lines)),
+		WarmupFrac:    float64(res.WarmupEntries) / float64(len(cap.Lines)),
+		AutoWarmup:    res.AutoWarmup,
+		StackHitRate:  res.StackHitRate,
+		Dropped:       cap.Stats.Dropped,
+	}
+	if resLong != nil && longErr == nil {
+		sl := resLong.MRC.Clone()
+		sl.Transpose(7, realMRC.At(8))
+		ev.DistanceLong = core.Distance(sl, realMRC)
+	}
+	return ev, nil
+}
+
+// EvalApps evaluates a set of applications concurrently, preserving
+// order.
+func EvalApps(names []string, cfg Config) ([]*AppEval, error) {
+	out := make([]*AppEval, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 4) // each eval already fans out internally
+	for i, n := range names {
+		wg.Add(1)
+		go func(i int, n string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = EvalApp(n, cfg)
+		}(i, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// colorAxis returns 1..16 as floats for series output.
+func colorAxis() []float64 {
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	return x
+}
+
+// sortedCopy returns a sorted copy of v (helper for summaries).
+func sortedCopy(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	sort.Float64s(out)
+	return out
+}
+
+// captureTrace is a convenience for figure drivers needing a raw trace
+// from a fresh machine.
+func captureTrace(app workload.Config, mode cpu.Mode, seed int64, warm uint64, entries int) platform.Capture {
+	m := platform.NewMachine(workload.New(app, seed), platform.Options{
+		Mode: mode, L3Enabled: true, Seed: seed,
+	})
+	m.RunInstructions(warm)
+	return m.CollectTrace(entries)
+}
+
+// tracedLines converts a capture to a corrected []mem.Line copy.
+func correctedLines(cap platform.Capture) []mem.Line {
+	lines := make([]mem.Line, len(cap.Lines))
+	copy(lines, cap.Lines)
+	core.CorrectPrefetchRepetitions(lines)
+	return lines
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rapidmrc/internal/color"
+	"rapidmrc/internal/contend"
+	"rapidmrc/internal/cpu"
+	"rapidmrc/internal/platform"
+	"rapidmrc/internal/report"
+	"rapidmrc/internal/workload"
+)
+
+// GlobalMRCRow is one application's predicted-vs-measured shared-cache
+// miss rate.
+type GlobalMRCRow struct {
+	App                string
+	SoloMPKI           float64 // at the full cache
+	PredictedMPKI      float64
+	MeasuredMPKI       float64
+	PredictedOccupancy float64
+}
+
+// ExtGlobalMRC exercises use case (iv) of the paper's introduction:
+// predicting how applications behave under *uncontrolled* cache sharing
+// from their individual MRCs plus the PMU's prefetch-fill counter,
+// without running the combination. Predictions are validated against
+// actual uncontrolled co-runs.
+func ExtGlobalMRC(w io.Writer, cfg Config) ([][]GlobalMRCRow, error) {
+	pairs := [][2]string{
+		{"twolf", "equake"},
+		{"vpr", "applu"},
+		{"art", "crafty"},
+	}
+	warm, slice := uint64(1_000_000), uint64(800_000)
+	if cfg.Quick {
+		warm, slice = 400_000, 300_000
+	}
+
+	var all [][]GlobalMRCRow
+	fmt.Fprintf(w, "Extension: predicting uncontrolled-sharing miss rates from solo profiles (use case iv)\n\n")
+	for _, pair := range pairs {
+		apps := make([]workload.Config, 2)
+		profiles := make([]contend.App, 2)
+		solo := make([]float64, 2)
+		for i, name := range pair {
+			apps[i] = workload.MustByName(name)
+			mrc := platform.RealMRC(apps[i], cfg.realCfg(cpu.Complex))
+			// Prefetch fill rate from a solo run's PMU counters.
+			m := platform.NewMachine(workload.New(apps[i], cfg.Seed), platform.Options{
+				Mode: cpu.Complex, L3Enabled: false, Seed: cfg.Seed,
+			})
+			m.RunInstructions(warm)
+			m.ResetMetrics()
+			m.RunInstructions(slice)
+			mt := m.Metrics()
+			profiles[i] = contend.App{
+				MRC:         mrc,
+				PrefetchPKI: 1000 * float64(mt.PrefetchFills) / float64(mt.Instructions),
+			}
+			solo[i] = mrc[15]
+		}
+
+		preds, err := contend.PredictShared(profiles, float64(color.NumColors))
+		if err != nil {
+			return nil, err
+		}
+		measured := platform.CoRun(apps,
+			[]color.Set{color.All, color.All}, warm, slice,
+			platform.CoRunOptions{Mode: cpu.Complex, L3Enabled: false, Seed: cfg.Seed})
+
+		rows := make([]GlobalMRCRow, 2)
+		cells := make([][]string, 2)
+		for i := range rows {
+			rows[i] = GlobalMRCRow{
+				App:                pair[i],
+				SoloMPKI:           solo[i],
+				PredictedMPKI:      preds[i].MPKI,
+				MeasuredMPKI:       measured[i].MPKI(),
+				PredictedOccupancy: preds[i].OccupancyColors,
+			}
+			cells[i] = []string{
+				pair[i],
+				report.F(rows[i].SoloMPKI),
+				fmt.Sprintf("%.1f", rows[i].PredictedOccupancy),
+				report.F(rows[i].PredictedMPKI),
+				report.F(rows[i].MeasuredMPKI),
+			}
+		}
+		all = append(all, rows)
+		fmt.Fprintf(w, "--- %s + %s (uncontrolled sharing)\n", pair[0], pair[1])
+		fmt.Fprint(w, report.Table(
+			[]string{"App", "Solo MPKI@16", "PredOcc(colors)", "PredMPKI", "MeasMPKI"}, cells))
+		fmt.Fprintln(w)
+	}
+	return all, nil
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rapidmrc/internal/phase"
+	"rapidmrc/internal/platform"
+	"rapidmrc/internal/report"
+	"rapidmrc/internal/workload"
+)
+
+// Table1 prints the machine specification (Table 1 of the paper).
+func Table1(w io.Writer) error {
+	fmt.Fprintf(w, "Table 1: IBM POWER5 specifications (simulated)\n\n%s", platform.Power5().Table())
+	return nil
+}
+
+// Figure1 measures the offline L2 MRC of mcf over all 16 partition sizes.
+func Figure1(w io.Writer, cfg Config) ([]float64, error) {
+	app := workload.MustByName("mcf")
+	mrc := platform.RealMRC(app, cfg.realCfg(cpuComplex))
+	fmt.Fprintf(w, "Figure 1: Offline L2 MRC of mcf\n\n")
+	fmt.Fprint(w, report.Series("colors", colorAxis(), []string{"MPKI"}, [][]float64{mrc}))
+	fmt.Fprint(w, report.Plot("mcf offline MRC", []string{"MPKI"}, [][]float64{mrc}, 48, 10))
+	return mrc, nil
+}
+
+// fig2Params returns (intervals, intervalInstr) for the timeline figures,
+// covering two full phase cycles of mcf (phase A 3 M + phase B 2 M
+// simulated instructions).
+func (c Config) fig2Params() (int, uint64) {
+	if c.Quick {
+		return 25, 1_300_000
+	}
+	return 50, 1_200_000
+}
+
+// Figure2a measures mcf's L2 MPKI timeline for every partition size and
+// marks detected phase boundaries.
+func Figure2a(w io.Writer, cfg Config) ([][]float64, error) {
+	app := workload.MustByName("mcf")
+	intervals, step := cfg.fig2Params()
+	tl := platform.MissRateTimelines(app, intervals, step, cfg.realCfg(cpuComplex))
+
+	x := make([]float64, intervals)
+	for i := range x {
+		x[i] = float64(uint64(i+1) * step)
+	}
+	names := make([]string, 16)
+	for k := range names {
+		names[k] = fmt.Sprintf("%dpart", k+1)
+	}
+	fmt.Fprintf(w, "Figure 2a: mcf phases in terms of L2 miss rate (x = instructions completed)\n\n")
+	fmt.Fprint(w, report.Series("instructions", x, names, tl))
+	fmt.Fprint(w, report.Plot("mcf MPKI over time (1 vs 16 partitions)",
+		[]string{"1part", "16part"}, [][]float64{tl[0], tl[15]}, 60, 12))
+
+	boundaries := phase.Boundaries(tl[7], phase.DefaultConfig())
+	fmt.Fprintf(w, "\nPhase boundaries (detected at 8 colors, interval=%d instr): ", step)
+	for _, b := range boundaries {
+		fmt.Fprintf(w, "%d ", uint64(b)*step)
+	}
+	fmt.Fprintln(w)
+	return tl, nil
+}
+
+// Figure2b measures mcf MRCs at two execution points (inside each phase)
+// against the whole-run average, showing how much the MRC moves across
+// phases.
+func Figure2b(w io.Writer, cfg Config) (map[string][]float64, error) {
+	app := workload.MustByName("mcf")
+
+	// mcf's schedule: phase A occupies [0, 20M), phase B [20M, 30M) in
+	// each 30M-instruction cycle.
+	inA := cfg.realCfg(cpuComplex)
+	inA.SkipInstructions, inA.SliceInstructions = 600_000, 600_000
+	inB := cfg.realCfg(cpuComplex)
+	inB.SkipInstructions, inB.SliceInstructions = 20_500_000, 600_000
+	avg := cfg.realCfg(cpuComplex)
+	avg.SkipInstructions, avg.SliceInstructions = 600_000, 30_000_000
+	if cfg.Quick {
+		inA.SkipInstructions, inA.SliceInstructions = 400_000, 300_000
+		inB.SkipInstructions, inB.SliceInstructions = 20_500_000, 300_000
+		avg.SkipInstructions, avg.SliceInstructions = 400_000, 15_000_000
+	}
+
+	out := map[string][]float64{
+		"phaseA":  platform.RealMRC(app, inA),
+		"phaseB":  platform.RealMRC(app, inB),
+		"average": platform.RealMRC(app, avg),
+	}
+	fmt.Fprintf(w, "Figure 2b: mcf MRCs at various execution points\n\n")
+	fmt.Fprint(w, report.Series("colors", colorAxis(),
+		[]string{"average", "phaseA", "phaseB"},
+		[][]float64{out["average"], out["phaseA"], out["phaseB"]}))
+	fmt.Fprint(w, report.Plot("mcf MRC by phase",
+		[]string{"average", "phaseA", "phaseB"},
+		[][]float64{out["average"], out["phaseA"], out["phaseB"]}, 48, 10))
+	return out, nil
+}
+
+// Figure2c detects phase boundaries separately at every partition size,
+// demonstrating that boundary locations are insensitive to the currently
+// configured cache size — the property that lets a single monitored point
+// stand in for the whole MRC.
+func Figure2c(w io.Writer, cfg Config) ([][]int, error) {
+	app := workload.MustByName("mcf")
+	intervals, step := cfg.fig2Params()
+	tl := platform.MissRateTimelines(app, intervals, step, cfg.realCfg(cpuComplex))
+
+	out := make([][]int, 16)
+	fmt.Fprintf(w, "Figure 2c: mcf phase boundaries detected per cache size (interval = %d instr)\n\n", step)
+	rows := make([][]string, 16)
+	for k := 0; k < 16; k++ {
+		out[k] = phase.Boundaries(tl[k], phase.DefaultConfig())
+		cells := ""
+		for _, b := range out[k] {
+			cells += fmt.Sprintf("%d ", b)
+		}
+		rows[k] = []string{fmt.Sprintf("%d colors", k+1), cells}
+	}
+	fmt.Fprint(w, report.Table([]string{"Size", "Boundary intervals"}, rows))
+
+	// Consistency summary: fraction of sizes agreeing with the 8-color
+	// boundaries.
+	ref := fmt.Sprint(out[7])
+	agree := 0
+	for k := 0; k < 16; k++ {
+		if fmt.Sprint(out[k]) == ref {
+			agree++
+		}
+	}
+	fmt.Fprintf(w, "\n%d/16 sizes detect identical boundary sets\n", agree)
+	return out, nil
+}

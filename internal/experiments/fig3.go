@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rapidmrc/internal/report"
+)
+
+// Figure3 compares the online RapidMRC curve against the real MRC for
+// every application (Figure 3 of the paper), v-offset-matched at the real
+// curve's 8-color point.
+func Figure3(w io.Writer, cfg Config) ([]*AppEval, error) {
+	evals, err := EvalApps(cfg.apps(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Figure 3: Online RapidMRC vs real MRCs (x = colors, y = MPKI)\n\n")
+	for _, ev := range evals {
+		fmt.Fprintf(w, "--- %s (distance %.2f MPKI, v-shift %+.1f)\n", ev.Name, ev.Distance, ev.Shift)
+		fmt.Fprint(w, report.Series("colors", colorAxis(),
+			[]string{"RapidMRC", "Real"}, [][]float64{ev.CalcShifted, ev.Real}))
+		fmt.Fprint(w, report.Plot(ev.Name, []string{"RapidMRC", "Real"},
+			[][]float64{ev.CalcShifted, ev.Real}, 48, 10))
+		fmt.Fprintln(w)
+	}
+
+	// Summary: how many applications track closely (the paper reports
+	// 25 of 30 matching closely, 5 problematic).
+	within := 0
+	for _, ev := range evals {
+		if ev.Distance <= 2.0 {
+			within++
+		}
+	}
+	fmt.Fprintf(w, "Summary: %d/%d applications within 2.0 MPKI mean distance\n", within, len(evals))
+	return evals, nil
+}
+
+// Table2 prints the per-application statistics table (Table 2).
+func Table2(w io.Writer, cfg Config) ([]*AppEval, error) {
+	evals, err := EvalApps(cfg.apps(), cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	headers := []string{
+		"Workload",
+		"Log(Mcyc)", "Calc(Mcyc)", "Instr(M)", "Phase i:c",
+		"Conv%", "Warmup%", "StackHit%", "VShift", "Dist", "DistLong",
+	}
+	rows := make([][]string, 0, len(evals)+1)
+	var sumLog, sumCalc, sumInstr, sumConv, sumWarm, sumHit, sumAbsShift, sumDist, sumDistL float64
+	for _, ev := range evals {
+		pi, pc := measurePhaseLength(ev.Name, cfg)
+		rows = append(rows, []string{
+			ev.Name,
+			fmt.Sprintf("%d", ev.LogCycles/1e6),
+			fmt.Sprintf("%d", ev.CalcCycles/1e6),
+			fmt.Sprintf("%.1f", float64(ev.CaptureInstr)/1e6),
+			fmt.Sprintf("%d:%d", pi/1000, pc/1000),
+			report.Pct(ev.ConvertedFrac),
+			report.Pct(ev.WarmupFrac),
+			report.Pct(ev.StackHitRate),
+			fmt.Sprintf("%+.1f", ev.Shift),
+			fmt.Sprintf("%.2f", ev.Distance),
+			fmt.Sprintf("%.2f", ev.DistanceLong),
+		})
+		sumLog += float64(ev.LogCycles) / 1e6
+		sumCalc += float64(ev.CalcCycles) / 1e6
+		sumInstr += float64(ev.CaptureInstr) / 1e6
+		sumConv += ev.ConvertedFrac
+		sumWarm += ev.WarmupFrac
+		sumHit += ev.StackHitRate
+		if ev.Shift < 0 {
+			sumAbsShift -= ev.Shift
+		} else {
+			sumAbsShift += ev.Shift
+		}
+		sumDist += ev.Distance
+		sumDistL += ev.DistanceLong
+	}
+	n := float64(len(evals))
+	rows = append(rows, []string{
+		"Average",
+		fmt.Sprintf("%.0f", sumLog/n),
+		fmt.Sprintf("%.0f", sumCalc/n),
+		fmt.Sprintf("%.1f", sumInstr/n),
+		"-",
+		report.Pct(sumConv / n),
+		report.Pct(sumWarm / n),
+		report.Pct(sumHit / n),
+		fmt.Sprintf("%.1f", sumAbsShift/n),
+		fmt.Sprintf("%.2f", sumDist/n),
+		fmt.Sprintf("%.2f", sumDistL/n),
+	})
+	fmt.Fprintf(w, "Table 2: RapidMRC statistics (simulated-instruction units; 1 sim instr = 1000 paper instr)\n")
+	fmt.Fprintf(w, "Phase i:c column: average phase length, kilo-instructions : kilo-cycles\n\n")
+	fmt.Fprint(w, report.Table(headers, rows))
+	return evals, nil
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"rapidmrc/internal/color"
+	"rapidmrc/internal/core"
+	"rapidmrc/internal/cpu"
+	"rapidmrc/internal/partition"
+	"rapidmrc/internal/platform"
+	"rapidmrc/internal/report"
+	"rapidmrc/internal/workload"
+)
+
+// Fig7Workload describes one multiprogrammed workload of §5.3.
+type Fig7Workload struct {
+	// A is the application given the first x colors; B fills the rest.
+	A, B string
+	// CopiesB runs B several times sharing one partition (ammp+3applu).
+	CopiesB int
+	// L3 reproduces the paper's L3 settings: disabled for twolf+equake
+	// and vpr+applu, enabled for ammp+3applu.
+	L3 bool
+}
+
+// Fig7Workloads returns the three workloads of Figure 7.
+func Fig7Workloads() []Fig7Workload {
+	return []Fig7Workload{
+		{A: "twolf", B: "equake", CopiesB: 1, L3: false},
+		{A: "vpr", B: "applu", CopiesB: 1, L3: false},
+		{A: "ammp", B: "applu", CopiesB: 3, L3: true},
+	}
+}
+
+// Fig7Result holds one workload's outcome.
+type Fig7Result struct {
+	Workload Fig7Workload
+	// RealChoice and RapidChoice are the colors given to A by the
+	// selection algorithm fed with each curve type.
+	RealChoice, RapidChoice int
+	// NormA[x-1] and NormB[x-1] are normalized IPC (%) with A confined
+	// to x colors, x = 1..15, against uncontrolled sharing.
+	NormA, NormB []float64
+	// GainRapid and GainReal are application A's normalized-IPC gains
+	// (%) at each choice — the paper's headline numbers (27 %, 12 %,
+	// 14 % for RapidMRC) quote the cache-sensitive application.
+	GainRapid, GainReal float64
+	// MeanGainRapid and MeanGainReal average the gain over all
+	// co-scheduled applications.
+	MeanGainRapid, MeanGainReal float64
+}
+
+// fig7Slice returns (warmup, slice) instruction budgets per application.
+func (c Config) fig7Slice() (uint64, uint64) {
+	if c.Quick {
+		return 400_000, 300_000
+	}
+	return 1_200_000, 800_000
+}
+
+// Figure7 sizes cache partitions with RapidMRC vs real MRCs for the three
+// multiprogrammed workloads and measures the entire performance spectrum.
+func Figure7(w io.Writer, cfg Config) ([]Fig7Result, error) {
+	fmt.Fprintf(w, "Figure 7: multiprogrammed workload performance vs partition size\n\n")
+	var out []Fig7Result
+	for _, wl := range Fig7Workloads() {
+		r, err := figure7One(w, wl, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+func figure7One(w io.Writer, wl Fig7Workload, cfg Config) (*Fig7Result, error) {
+	// Curves for the size selection: real MRC and RapidMRC, as Figure 3
+	// produced them.
+	evA, err := EvalApp(wl.A, cfg)
+	if err != nil {
+		return nil, err
+	}
+	evB, err := EvalApp(wl.B, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	realA, realB := core.NewMRC(evA.Real), core.NewMRC(evB.Real)
+	rapidA, rapidB := core.NewMRC(evA.CalcShifted), core.NewMRC(evB.CalcShifted)
+	realX, _ := partition.ChoosePair(realA, realB, color.NumColors)
+	rapidX, _ := partition.ChoosePair(rapidA, rapidB, color.NumColors)
+
+	// Measure the whole spectrum: A gets x colors, B (all copies) shares
+	// the rest; plus the uncontrolled baseline.
+	apps := []workload.Config{workload.MustByName(wl.A)}
+	for i := 0; i < wl.CopiesB; i++ {
+		apps = append(apps, workload.MustByName(wl.B))
+	}
+	warm, slice := cfg.fig7Slice()
+	opt := platform.CoRunOptions{Mode: cpu.Complex, L3Enabled: wl.L3, Seed: cfg.Seed}
+
+	run := func(parts []color.Set) []platform.Metrics {
+		return platform.CoRun(apps, parts, warm, slice, opt)
+	}
+	uncontrolled := make([]color.Set, len(apps))
+	for i := range uncontrolled {
+		uncontrolled[i] = color.All
+	}
+
+	spectrum := make([][]platform.Metrics, 15)
+	var base []platform.Metrics
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		base = run(uncontrolled)
+	}()
+	for x := 1; x <= 15; x++ {
+		wg.Add(1)
+		go func(x int) {
+			defer wg.Done()
+			parts := make([]color.Set, len(apps))
+			parts[0] = color.First(x)
+			for i := 1; i < len(apps); i++ {
+				parts[i] = color.Range(x, color.NumColors)
+			}
+			spectrum[x-1] = run(parts)
+		}(x)
+	}
+	wg.Wait()
+
+	normA := make([]float64, 15)
+	normB := make([]float64, 15)
+	for x := 1; x <= 15; x++ {
+		ms := spectrum[x-1]
+		normA[x-1] = 100 * ms[0].IPC() / base[0].IPC()
+		// Average the B copies.
+		sum := 0.0
+		for i := 1; i < len(ms); i++ {
+			sum += 100 * ms[i].IPC() / base[i].IPC()
+		}
+		normB[x-1] = sum / float64(len(ms)-1)
+	}
+	meanGain := func(x int) float64 {
+		return (normA[x-1]+normB[x-1])/2 - 100
+	}
+
+	res := &Fig7Result{
+		Workload:      wl,
+		RealChoice:    realX,
+		RapidChoice:   rapidX,
+		NormA:         normA,
+		NormB:         normB,
+		GainRapid:     normA[rapidX-1] - 100,
+		GainReal:      normA[realX-1] - 100,
+		MeanGainRapid: meanGain(rapidX),
+		MeanGainReal:  meanGain(realX),
+	}
+
+	label := fmt.Sprintf("%s : %s", wl.A, wl.B)
+	if wl.CopiesB > 1 {
+		label = fmt.Sprintf("%s : %d×%s", wl.A, wl.CopiesB, wl.B)
+	}
+	fmt.Fprintf(w, "--- %s (L3 %v)\n", label, wl.L3)
+	fmt.Fprintf(w, "chosen sizes  real MRC: %d:%d   RapidMRC: %d:%d\n",
+		realX, 16-realX, rapidX, 16-rapidX)
+	fmt.Fprintf(w, "%s gain over uncontrolled sharing: RapidMRC %+.1f%%, real MRC %+.1f%%\n",
+		wl.A, res.GainRapid, res.GainReal)
+	fmt.Fprintf(w, "all-application mean gain:                RapidMRC %+.1f%%, real MRC %+.1f%%\n\n",
+		res.MeanGainRapid, res.MeanGainReal)
+	x := make([]float64, 15)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	fmt.Fprint(w, report.Series(wl.A+"_colors", x,
+		[]string{wl.A + "_normIPC", wl.B + "_normIPC"},
+		[][]float64{normA, normB}))
+	fmt.Fprint(w, report.Plot("normalized IPC vs "+wl.A+" colors",
+		[]string{wl.A, wl.B}, [][]float64{normA, normB}, 45, 10))
+	fmt.Fprintln(w)
+	return res, nil
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"rapidmrc/internal/cpu"
+	"rapidmrc/internal/phase"
+	"rapidmrc/internal/platform"
+	"rapidmrc/internal/workload"
+)
+
+// measurePhaseLength estimates the average phase length of an application
+// (Table 2 column d) by monitoring the L2 MPKI of the 8-color
+// configuration in fixed instruction intervals and running the §5.2.2
+// detector over the timeline. It returns (instructions, cycles) per
+// phase.
+func measurePhaseLength(name string, cfg Config) (uint64, uint64) {
+	app := workload.MustByName(name)
+	intervals, intervalInstr := 45, uint64(1_000_000)
+	if cfg.Quick {
+		intervals, intervalInstr = 16, 150_000
+	}
+	ms := platform.IntervalMetrics(app, 8, intervals, intervalInstr, cfg.realCfg(cpu.Complex))
+
+	mpki := make([]float64, len(ms))
+	var cycles uint64
+	for i, m := range ms {
+		mpki[i] = m.MPKI()
+		cycles += m.Cycles
+	}
+	boundaries := phase.Boundaries(mpki, phase.DefaultConfig())
+	phases := uint64(len(boundaries) + 1)
+	totalInstr := uint64(intervals) * intervalInstr
+	return totalInstr / phases, cycles / phases
+}

@@ -1,0 +1,114 @@
+// Package partition chooses L2 cache partition sizes from miss rate
+// curves (§4 of the paper): for two co-scheduled applications it
+// minimizes total misses over all splits; for more than two it uses the
+// greedy marginal-utility (lookahead) heuristic of Qureshi & Patt [29],
+// since the exact problem is NP-hard.
+package partition
+
+import (
+	"fmt"
+
+	"rapidmrc/internal/color"
+	"rapidmrc/internal/core"
+)
+
+// ChoosePair returns the split (x, C-x) minimizing
+// MRCa(x) + MRCb(C−x) over x ∈ [1, C−1], the utility function of §4.
+// Ties resolve to the smallest x. Both curves must have at least C−1
+// points.
+func ChoosePair(a, b *core.MRC, colors int) (int, int) {
+	if colors < 2 {
+		panic(fmt.Sprintf("partition: cannot split %d colors", colors))
+	}
+	if len(a.MPKI) < colors-1 || len(b.MPKI) < colors-1 {
+		panic("partition: curves shorter than the partition range")
+	}
+	bestX, bestCost := 1, a.At(1)+b.At(colors-1)
+	for x := 2; x <= colors-1; x++ {
+		if cost := a.At(x) + b.At(colors-x); cost < bestCost {
+			bestX, bestCost = x, cost
+		}
+	}
+	return bestX, colors - bestX
+}
+
+// ChooseN splits colors among n ≥ 1 applications with the *lookahead*
+// algorithm of Qureshi & Patt [29], the approximation the paper points to
+// for more than two applications. Plain greedy (always give the next
+// color to the largest single-step gain) is blind to curves that are flat
+// up to a cliff — an application needing 12 colors before anything
+// improves would never receive its first extra color. Lookahead instead
+// considers every jump size and maximizes miss reduction *per color
+// granted*.
+func ChooseN(mrcs []*core.MRC, colors int) []int {
+	n := len(mrcs)
+	if n == 0 {
+		panic("partition: no curves")
+	}
+	if colors < n {
+		panic(fmt.Sprintf("partition: %d colors for %d applications", colors, n))
+	}
+	if n == 2 {
+		// The pair case is cheap to solve exactly; greedy lookahead can
+		// get trapped when one curve's cliff competes with the other's
+		// slope for the same colors.
+		a, b := ChoosePair(mrcs[0], mrcs[1], colors)
+		return []int{a, b}
+	}
+	alloc := make([]int, n)
+	for i := range alloc {
+		alloc[i] = 1
+	}
+	remaining := colors - n
+	for remaining > 0 {
+		best, bestJump, bestRatio := -1, 0, 0.0
+		for i, m := range mrcs {
+			maxK := len(m.MPKI)
+			if cap := alloc[i] + remaining; cap < maxK {
+				maxK = cap
+			}
+			for k := alloc[i] + 1; k <= maxK; k++ {
+				ratio := (m.At(alloc[i]) - m.At(k)) / float64(k-alloc[i])
+				if ratio > bestRatio {
+					best, bestJump, bestRatio = i, k-alloc[i], ratio
+				}
+			}
+		}
+		if best < 0 {
+			// No curve improves anywhere: spread the leftovers evenly so
+			// no application is starved gratuitously.
+			for i := 0; remaining > 0; i = (i + 1) % n {
+				alloc[i]++
+				remaining--
+			}
+			break
+		}
+		alloc[best] += bestJump
+		remaining -= bestJump
+	}
+	return alloc
+}
+
+// TotalMisses evaluates the utility function for a given allocation.
+func TotalMisses(mrcs []*core.MRC, alloc []int) float64 {
+	if len(mrcs) != len(alloc) {
+		panic("partition: allocation length mismatch")
+	}
+	sum := 0.0
+	for i, m := range mrcs {
+		sum += m.At(alloc[i])
+	}
+	return sum
+}
+
+// Sets converts an allocation (color counts) into disjoint color sets,
+// assigned left to right. The counts must sum to at most color.NumColors.
+func Sets(alloc []int) []color.Set {
+	out := make([]color.Set, len(alloc))
+	lo := 0
+	for i, n := range alloc {
+		out[i] = color.Range(lo, lo+n)
+		lo += n
+	}
+	return out
+}

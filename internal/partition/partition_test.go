@@ -1,0 +1,232 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rapidmrc/internal/color"
+	"rapidmrc/internal/core"
+)
+
+// mrc builds a curve from 16 values.
+func mrc(points ...float64) *core.MRC { return core.NewMRC(points) }
+
+// linear returns a 16-point curve declining from hi to lo.
+func linear(hi, lo float64) *core.MRC {
+	pts := make([]float64, 16)
+	for i := range pts {
+		pts[i] = hi + (lo-hi)*float64(i)/15
+	}
+	return core.NewMRC(pts)
+}
+
+// flat returns a constant 16-point curve.
+func flat(v float64) *core.MRC {
+	pts := make([]float64, 16)
+	for i := range pts {
+		pts[i] = v
+	}
+	return core.NewMRC(pts)
+}
+
+// knee returns a curve that is hi below k colors and lo at or above.
+func knee(k int, hi, lo float64) *core.MRC {
+	pts := make([]float64, 16)
+	for i := range pts {
+		if i+1 < k {
+			pts[i] = hi
+		} else {
+			pts[i] = lo
+		}
+	}
+	return core.NewMRC(pts)
+}
+
+func TestChoosePairGreedyVsFlat(t *testing.T) {
+	// A cache-sensitive app vs a cache-insensitive one: the sensitive
+	// app should get almost everything.
+	x, y := ChoosePair(linear(50, 1), flat(10), 16)
+	if x+y != 16 {
+		t.Fatalf("split %d+%d != 16", x, y)
+	}
+	if x != 15 {
+		t.Fatalf("sensitive app got %d colors, want 15", x)
+	}
+}
+
+func TestChoosePairKnees(t *testing.T) {
+	// Knees at 10 and 6 colors exactly fill the cache: the optimal split
+	// satisfies both.
+	a := knee(10, 40, 2)
+	b := knee(6, 30, 1)
+	x, y := ChoosePair(a, b, 16)
+	if x != 10 || y != 6 {
+		t.Fatalf("split = %d:%d, want 10:6", x, y)
+	}
+}
+
+func TestChoosePairSymmetricTieBreak(t *testing.T) {
+	a, b := flat(5), flat(5)
+	x, y := ChoosePair(a, b, 16)
+	if x != 1 || y != 15 {
+		t.Fatalf("tie should resolve to smallest x: got %d:%d", x, y)
+	}
+}
+
+// TestChoosePairIsExhaustivelyOptimal property-tests the chosen split
+// against brute force.
+func TestChoosePairIsExhaustivelyOptimal(t *testing.T) {
+	f := func(rawA, rawB [16]uint8) bool {
+		a := make([]float64, 16)
+		b := make([]float64, 16)
+		// Sort descending so the curves are valid (non-increasing) MRCs.
+		for i := 0; i < 16; i++ {
+			a[i] = float64(rawA[i])
+			b[i] = float64(rawB[i])
+		}
+		sortDesc(a)
+		sortDesc(b)
+		ma, mb := core.NewMRC(a), core.NewMRC(b)
+		x, y := ChoosePair(ma, mb, 16)
+		got := ma.At(x) + mb.At(y)
+		for k := 1; k <= 15; k++ {
+			if ma.At(k)+mb.At(16-k) < got-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortDesc(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] > v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func TestChoosePairPanics(t *testing.T) {
+	cases := []func(){
+		func() { ChoosePair(flat(1), flat(1), 1) },
+		func() { ChoosePair(mrc(1, 2), flat(1), 16) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestChooseNMatchesPairForTwoApps(t *testing.T) {
+	// For concave (diminishing-return) curves, greedy is optimal, so it
+	// must agree with the exhaustive pair chooser.
+	a := linear(60, 0)
+	b := linear(30, 10)
+	alloc := ChooseN([]*core.MRC{a, b}, 16)
+	x, _ := ChoosePair(a, b, 16)
+	if alloc[0]+alloc[1] != 16 {
+		t.Fatalf("alloc %v does not sum to 16", alloc)
+	}
+	if alloc[0] != x {
+		t.Fatalf("greedy alloc %v disagrees with exhaustive %d", alloc, x)
+	}
+}
+
+func TestChooseNThreeApps(t *testing.T) {
+	// ammp+3applu-style: one sensitive app, three insensitive sharers.
+	sens := linear(50, 1)
+	insens := flat(2)
+	alloc := ChooseN([]*core.MRC{sens, insens, insens, insens}, 16)
+	total := 0
+	for _, a := range alloc {
+		total += a
+	}
+	if total != 16 {
+		t.Fatalf("alloc %v sums to %d", alloc, total)
+	}
+	if alloc[0] < 12 {
+		t.Fatalf("sensitive app got %d colors: %v", alloc[0], alloc)
+	}
+	for i := 1; i < 4; i++ {
+		if alloc[i] < 1 {
+			t.Fatalf("app %d starved: %v", i, alloc)
+		}
+	}
+}
+
+func TestChooseNSaturated(t *testing.T) {
+	// All-flat curves: no gains anywhere; allocation still sums to C and
+	// everyone keeps ≥ 1.
+	alloc := ChooseN([]*core.MRC{flat(1), flat(1)}, 16)
+	if alloc[0]+alloc[1] != 16 {
+		t.Fatalf("alloc %v", alloc)
+	}
+}
+
+// TestChooseNSeesOverCliffs is the case that defeats plain greedy and
+// motivates the lookahead: an application whose curve is flat until a
+// cliff at 12 colors must still receive its 12 colors when the gain
+// justifies it.
+func TestChooseNSeesOverCliffs(t *testing.T) {
+	cliff := knee(12, 25, 1) // flat 25 MPKI until 12 colors, then 1
+	soft := linear(8, 2)     // gentle slope
+	alloc := ChooseN([]*core.MRC{cliff, soft}, 16)
+	if alloc[0] < 12 {
+		t.Fatalf("lookahead missed the cliff: alloc %v", alloc)
+	}
+	if alloc[0]+alloc[1] != 16 {
+		t.Fatalf("alloc %v does not sum", alloc)
+	}
+}
+
+func TestChooseNPanics(t *testing.T) {
+	cases := []func(){
+		func() { ChooseN(nil, 16) },
+		func() { ChooseN([]*core.MRC{flat(1), flat(1), flat(1)}, 2) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTotalMisses(t *testing.T) {
+	a := knee(4, 10, 2)
+	b := flat(5)
+	got := TotalMisses([]*core.MRC{a, b}, []int{4, 12})
+	if got != 7 {
+		t.Fatalf("total misses = %v, want 7", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths did not panic")
+		}
+	}()
+	TotalMisses([]*core.MRC{a}, []int{1, 2})
+}
+
+func TestSets(t *testing.T) {
+	sets := Sets([]int{10, 6})
+	if sets[0] != color.Range(0, 10) || sets[1] != color.Range(10, 16) {
+		t.Fatalf("sets = %v", sets)
+	}
+	// Disjointness.
+	if sets[0]&sets[1] != 0 {
+		t.Fatal("sets overlap")
+	}
+}

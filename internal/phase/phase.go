@@ -1,0 +1,152 @@
+// Package phase implements the online phase-transition detector of
+// §5.2.2: the L2 miss rate (MPKI) of fixed-length instruction intervals
+// is compared against the average of the previous w intervals; a
+// transition is declared when they differ by more than a threshold, with
+// a fractional hysteresis threshold marking the beginning/end of lengthy
+// transitions.
+//
+// The paper uses the miss rate rather than IPC because it directly
+// reflects cache behaviour, can be monitored for free with PMU counters,
+// and — as Figure 2c shows — fires at the same execution points whatever
+// the currently configured partition size.
+package phase
+
+import "fmt"
+
+// Config holds the detector parameters; the paper's values are interval
+// length 1 G instructions, w = 3, threshold 3 MPKI, start/end fraction
+// 50 % (§5.2.2).
+type Config struct {
+	// Window is w, the number of past intervals averaged.
+	Window int
+	// ThresholdMPKI is the miss rate difference declaring a transition.
+	ThresholdMPKI float64
+	// HysteresisFrac scales the threshold for detecting the end of a
+	// lengthy transition: the detector returns to stable when the
+	// interval-to-interval change falls below HysteresisFrac×Threshold.
+	HysteresisFrac float64
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{Window: 3, ThresholdMPKI: 3, HysteresisFrac: 0.5}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Window <= 0 {
+		return fmt.Errorf("phase: window %d", c.Window)
+	}
+	if c.ThresholdMPKI <= 0 {
+		return fmt.Errorf("phase: threshold %v", c.ThresholdMPKI)
+	}
+	if c.HysteresisFrac <= 0 || c.HysteresisFrac > 1 {
+		return fmt.Errorf("phase: hysteresis fraction %v", c.HysteresisFrac)
+	}
+	return nil
+}
+
+// Detector consumes one MPKI sample per interval and reports transitions.
+// The zero value is not usable; construct with New.
+type Detector struct {
+	cfg          Config
+	history      []float64
+	last         float64
+	haveLast     bool
+	inTransition bool
+	transitions  int
+}
+
+// New returns a detector. It panics on invalid configuration (parameters
+// are static in this codebase).
+func New(cfg Config) *Detector {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Detector{cfg: cfg}
+}
+
+// Transitions returns the number of transitions detected so far.
+func (d *Detector) Transitions() int { return d.transitions }
+
+// InTransition reports whether the detector is inside a lengthy
+// transition.
+func (d *Detector) InTransition() bool { return d.inTransition }
+
+// Observe consumes the MPKI of the next interval and reports whether a
+// phase transition begins at this interval.
+func (d *Detector) Observe(mpki float64) bool {
+	defer func() {
+		d.last = mpki
+		d.haveLast = true
+	}()
+
+	if d.inTransition {
+		// A lengthy transition ends when the miss rate stops moving.
+		if d.haveLast && abs(mpki-d.last) < d.cfg.HysteresisFrac*d.cfg.ThresholdMPKI {
+			d.inTransition = false
+			d.history = append(d.history[:0], mpki)
+		}
+		return false
+	}
+
+	if len(d.history) < d.cfg.Window {
+		d.history = append(d.history, mpki)
+		return false
+	}
+
+	avg := 0.0
+	for _, v := range d.history {
+		avg += v
+	}
+	avg /= float64(len(d.history))
+
+	if abs(mpki-avg) > d.cfg.ThresholdMPKI {
+		d.transitions++
+		d.inTransition = true
+		d.history = d.history[:0]
+		return true
+	}
+
+	// Stable: slide the window.
+	copy(d.history, d.history[1:])
+	d.history[len(d.history)-1] = mpki
+	return false
+}
+
+// Reset returns the detector to its initial state.
+func (d *Detector) Reset() {
+	d.history = d.history[:0]
+	d.haveLast = false
+	d.inTransition = false
+	d.transitions = 0
+}
+
+// Boundaries runs a detector over a whole MPKI timeline and returns the
+// interval indices at which transitions begin — the phase boundary
+// markers of Figures 2a and 2c.
+func Boundaries(timeline []float64, cfg Config) []int {
+	d := New(cfg)
+	var out []int
+	for i, v := range timeline {
+		if d.Observe(v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AveragePhaseLength returns the mean phase length implied by the
+// boundaries over a timeline of n intervals of intervalInstr
+// instructions each (Table 2 column d).
+func AveragePhaseLength(nIntervals int, boundaries []int, intervalInstr uint64) uint64 {
+	phases := len(boundaries) + 1
+	return uint64(nIntervals) * intervalInstr / uint64(phases)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

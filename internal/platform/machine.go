@@ -1,0 +1,328 @@
+package platform
+
+import (
+	"rapidmrc/internal/cache"
+	"rapidmrc/internal/color"
+	"rapidmrc/internal/cpu"
+	"rapidmrc/internal/mem"
+	"rapidmrc/internal/pmu"
+	"rapidmrc/internal/prefetch"
+)
+
+// Options configures one Machine (one hardware context running one
+// workload).
+type Options struct {
+	// Mode is the processor execution mode (complex / no-prefetch /
+	// simplified). The zero value is cpu.Simplified; most callers want
+	// cpu.Complex.
+	Mode cpu.Mode
+	// Colors is the page colors the workload may occupy. Zero means all.
+	Colors color.Set
+	// L3Enabled attaches the off-chip victim cache (§5.3 disables it for
+	// two of the three multiprogrammed workloads).
+	L3Enabled bool
+	// Seed drives all stochastic elements (workload via its own seed, PMU
+	// artifacts).
+	Seed int64
+	// SharedL2 and SharedL3, when non-nil, are used instead of private
+	// caches — co-scheduled machines pass the same pointers.
+	SharedL2 *cache.Cache
+	SharedL3 *cache.Cache
+	// Alloc, when non-nil, is the shared physical frame allocator for
+	// co-scheduled machines.
+	Alloc *color.Allocator
+	// TraceBuffer sets the PMU trace-buffer depth. Zero or one is the
+	// real POWER5 (exception per event, lossy); larger values model the
+	// future PMU of §6 (amortized exceptions, lossless capture).
+	TraceBuffer int
+}
+
+// Machine simulates one hardware context: a core with private L1-D,
+// page-coloring address translation, a (possibly shared) L2, an optional
+// victim L3, a per-core stream prefetcher, and a PMU.
+//
+// A Machine is not safe for concurrent use, but independent Machines may
+// run on different goroutines as long as they share no caches.
+type Machine struct {
+	gen    mem.Generator
+	core   *cpu.Core
+	pmu    *pmu.PMU
+	mapper *color.Mapper
+	l1d    *cache.Cache
+	l2     *cache.Cache
+	l3     *cache.Cache
+	pf     *prefetch.Prefetcher
+
+	l3Enabled bool
+
+	// Baselines for interval metrics.
+	baseInstr, baseCycles uint64
+	baseCounters          pmu.Counters
+
+	// Trace-log pollution state: the exception handler appends 8-byte
+	// entries to a log in the application's own address space, dirtying
+	// one line every 16 entries (§5.2.3 notes the log pollutes the L2 and
+	// is incorporated into the measured curves).
+	logNext    mem.Line
+	logPending int
+}
+
+// logRegionBase places the trace log far above any workload region.
+const logRegionBase mem.Line = 1 << 40
+
+// logEntriesPerLine is how many 8-byte log entries fit one 128-byte line.
+const logEntriesPerLine = mem.LineSize / 8
+
+// NewMachine builds a machine running gen.
+func NewMachine(gen mem.Generator, opt Options) *Machine {
+	spec := Power5()
+	if opt.Colors == 0 {
+		opt.Colors = color.All
+	}
+	alloc := opt.Alloc
+	if alloc == nil {
+		alloc = color.NewAllocator()
+	}
+	l2 := opt.SharedL2
+	if l2 == nil {
+		l2 = cache.New(spec.L2)
+	}
+	l3 := opt.SharedL3
+	if l3 == nil && opt.L3Enabled {
+		l3 = cache.New(spec.L3)
+	}
+	p := pmu.New(opt.Seed ^ 0x5eed)
+	if opt.TraceBuffer > 1 {
+		p.SetTraceBuffer(opt.TraceBuffer)
+	}
+	return &Machine{
+		gen:       gen,
+		core:      cpu.New(opt.Mode),
+		pmu:       p,
+		mapper:    color.NewMapperWith(alloc, opt.Colors),
+		l1d:       cache.New(spec.L1D),
+		l2:        l2,
+		l3:        l3,
+		l3Enabled: opt.L3Enabled && l3 != nil,
+		pf:        prefetch.New(opt.Mode.Prefetch),
+		logNext:   logRegionBase,
+	}
+}
+
+// Generator returns the workload driving this machine.
+func (m *Machine) Generator() mem.Generator { return m.gen }
+
+// Core exposes the execution core (read-only use intended).
+func (m *Machine) Core() *cpu.Core { return m.core }
+
+// PMU exposes the performance monitoring unit.
+func (m *Machine) PMU() *pmu.PMU { return m.pmu }
+
+// Mapper exposes the page-coloring mapper, e.g. for repartitioning.
+func (m *Machine) Mapper() *color.Mapper { return m.mapper }
+
+// L2 returns the (possibly shared) L2 cache.
+func (m *Machine) L2() *cache.Cache { return m.l2 }
+
+// Prefetcher returns the machine's stream prefetcher.
+func (m *Machine) Prefetcher() *prefetch.Prefetcher { return m.pf }
+
+// Step executes one memory reference and the non-memory instructions
+// preceding it.
+func (m *Machine) Step() {
+	ref := m.gen.Next()
+	m.core.Advance(uint64(ref.Gap) + 1)
+
+	vline := mem.LineOf(ref.Addr)
+	switch ref.Kind {
+	case mem.Load:
+		if m.l1d.Access(vline, false).Hit {
+			return
+		}
+		pline := m.mapper.PhysLine(vline)
+		m.onL1DMiss(pline)
+		m.l2Demand(pline, false, true, true)
+	case mem.Store:
+		// The L1-D is store-through, no-allocate: a store updates the L1
+		// only if the line is already present and always proceeds to the
+		// L2. Only a store that misses the L1-D is a PMU qualifying
+		// event; store-hit write-throughs are the L2 traffic the trace
+		// never sees (§3.1).
+		pline := m.mapper.PhysLine(vline)
+		if !m.l1d.Touch(vline) {
+			m.onL1DMiss(pline)
+		}
+		// Store write-throughs do not train the stream prefetchers —
+		// POWER5 streams are load-side.
+		m.l2Demand(pline, true, false, false)
+	case mem.IFetch:
+		// Instruction fetches are not modeled; generators do not emit
+		// them (the paper's traces exclude them too).
+	}
+}
+
+// onL1DMiss routes a qualifying event through the PMU, charging the
+// overflow exception and appending to the in-memory trace log when a
+// probing period is active.
+func (m *Machine) onL1DMiss(pline mem.Line) {
+	overlapped := m.core.MissOverlapsPrevious()
+	if m.pmu.OnL1DMiss(pline, overlapped, m.core.Timing.OverlapDropPermille) {
+		m.core.Exception()
+		m.logAppend()
+	}
+}
+
+// logAppend models the exception handler writing one 8-byte log entry;
+// every 16th entry dirties a fresh line of the log, which passes through
+// the L2 like any store and pollutes the partition under measurement.
+func (m *Machine) logAppend() {
+	m.logPending++
+	if m.logPending < logEntriesPerLine {
+		return
+	}
+	m.logPending = 0
+	pline := m.mapper.PhysLine(m.logNext)
+	m.logNext++
+	m.l2Demand(pline, true, false, false)
+}
+
+// l2Demand performs one demand L2 access. stall says whether the core
+// waits for the data (loads stall; write-through stores drain from the
+// store queue without stalling). train feeds the access to the stream
+// prefetcher — all application demand traffic trains it, hits included,
+// since hits on previously prefetched lines are what keep a stream
+// running ahead; the PMU's own log writes do not.
+func (m *Machine) l2Demand(pline mem.Line, dirty, stall, train bool) {
+	res := m.l2.Access(pline, dirty)
+	m.pmu.OnL2Access(!res.Hit)
+	if res.Hit {
+		if stall {
+			m.core.Stall(m.core.Timing.L2HitCycles)
+		}
+	} else {
+		latency := m.core.Timing.MemCycles
+		if m.l3Enabled {
+			if present, _ := m.l3.Invalidate(pline); present {
+				latency = m.core.Timing.L3HitCycles
+			}
+		}
+		if stall {
+			m.core.Stall(latency)
+		}
+		if res.Evicted && m.l3Enabled {
+			m.l3.Insert(res.Victim, res.VictimDirty)
+		}
+	}
+
+	if !train {
+		return
+	}
+	// Fills go straight into the L2 and leave the SDAR stale for the
+	// duration of the burst.
+	targets := m.pf.Observe(pline)
+	if len(targets) == 0 {
+		return
+	}
+	m.pmu.OnPrefetchFill(len(targets))
+	for _, t := range targets {
+		r := m.l2.Insert(t, false)
+		if r.Evicted && m.l3Enabled {
+			m.l3.Insert(r.Victim, r.VictimDirty)
+		}
+	}
+}
+
+// RunInstructions steps until at least n more instructions complete.
+func (m *Machine) RunInstructions(n uint64) {
+	target := m.core.Instructions() + n
+	for m.core.Instructions() < target {
+		m.Step()
+	}
+}
+
+// RunRefs executes exactly n memory references.
+func (m *Machine) RunRefs(n int) {
+	for i := 0; i < n; i++ {
+		m.Step()
+	}
+}
+
+// Metrics summarizes activity since the last ResetMetrics (or machine
+// creation).
+type Metrics struct {
+	Instructions  uint64
+	Cycles        uint64
+	L1DMisses     uint64
+	L2Accesses    uint64
+	L2Misses      uint64
+	PrefetchFills uint64
+}
+
+// IPC returns instructions per cycle for the interval.
+func (mt Metrics) IPC() float64 {
+	if mt.Cycles == 0 {
+		return 0
+	}
+	return float64(mt.Instructions) / float64(mt.Cycles)
+}
+
+// MPKI returns demand L2 misses per kilo-instruction for the interval.
+func (mt Metrics) MPKI() float64 {
+	if mt.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(mt.L2Misses) / float64(mt.Instructions)
+}
+
+// Metrics returns the interval metrics since the last ResetMetrics.
+func (m *Machine) Metrics() Metrics {
+	c := m.pmu.Counters()
+	return Metrics{
+		Instructions:  m.core.Instructions() - m.baseInstr,
+		Cycles:        m.core.Cycles() - m.baseCycles,
+		L1DMisses:     c.L1DMisses - m.baseCounters.L1DMisses,
+		L2Accesses:    c.L2Accesses - m.baseCounters.L2Accesses,
+		L2Misses:      c.L2Misses - m.baseCounters.L2Misses,
+		PrefetchFills: c.PrefetchFills - m.baseCounters.PrefetchFills,
+	}
+}
+
+// ResetMetrics starts a new measurement interval.
+func (m *Machine) ResetMetrics() {
+	m.baseInstr = m.core.Instructions()
+	m.baseCycles = m.core.Cycles()
+	m.baseCounters = m.pmu.Counters()
+}
+
+// Capture is one probing period's output: the raw SDAR trace plus
+// progress and artifact statistics.
+type Capture struct {
+	// Lines is the captured trace, physical L2 line addresses in access
+	// order, including stale repetitions.
+	Lines []mem.Line
+	// Stats describes capture losses and application progress.
+	Stats pmu.TraceStats
+}
+
+// Repartition confines the machine's workload to a new color set: pages
+// outside it migrate to allowed colors and the migration cost (7.3 µs per
+// page) is charged to this context's core. It returns the number of pages
+// moved.
+func (m *Machine) Repartition(allowed color.Set) int {
+	moved, cycles := m.mapper.Repartition(allowed)
+	m.core.Charge(cycles)
+	return moved
+}
+
+// CollectTrace runs a probing period: it arms the PMU for entries log
+// entries, runs the workload until the log fills, and returns the trace.
+// The application keeps making (slowed) progress during capture, exactly
+// as on the real machine.
+func (m *Machine) CollectTrace(entries int) Capture {
+	m.pmu.StartTrace(entries, m.core.Instructions(), m.core.Cycles())
+	for !m.pmu.TraceFull() {
+		m.Step()
+	}
+	lines, stats := m.pmu.FinishTrace(m.core.Instructions(), m.core.Cycles())
+	return Capture{Lines: lines, Stats: stats}
+}

@@ -1,0 +1,144 @@
+package platform
+
+import (
+	"sync"
+
+	"rapidmrc/internal/color"
+	"rapidmrc/internal/cpu"
+	"rapidmrc/internal/workload"
+)
+
+// RealMRCConfig parameterizes the exhaustive offline MRC measurement of
+// §5.2.1: run the application once per possible partition size, measuring
+// L2 MPKI with the PMU counters over an execution slice.
+type RealMRCConfig struct {
+	// Mode is the processor mode for the runs (Figure 5e varies this).
+	Mode cpu.Mode
+	// L3Enabled attaches the victim cache.
+	L3Enabled bool
+	// SkipInstructions fast-forwards each run before measuring, placing
+	// the slice at a chosen execution point (the paper uses the
+	// 10-billion-instruction mark; instruction counts here are in
+	// simulated units, 1:workload.Scale against the paper's).
+	SkipInstructions uint64
+	// SliceInstructions is the measurement slice length.
+	SliceInstructions uint64
+	// MaxColors is the number of partition sizes to measure (16).
+	MaxColors int
+	// Seed seeds each run identically so all sizes see the same stream.
+	Seed int64
+	// Parallel runs the per-size simulations on separate goroutines.
+	Parallel bool
+}
+
+// DefaultRealMRCConfig returns the settings used throughout the
+// reproduction: measure at the scaled 10-G-instruction mark over a scaled
+// 1-G-instruction slice.
+func DefaultRealMRCConfig() RealMRCConfig {
+	return RealMRCConfig{
+		Mode:              cpu.Complex,
+		L3Enabled:         true,
+		SkipInstructions:  2_000_000,
+		SliceInstructions: 1_000_000,
+		MaxColors:         color.NumColors,
+		Seed:              1,
+		Parallel:          true,
+	}
+}
+
+// RealMRC measures the real MRC of an application by running it
+// cfg.MaxColors times, each confined to 1..MaxColors colors, and
+// returns MPKI per size (index 0 = one color).
+func RealMRC(app workload.Config, cfg RealMRCConfig) []float64 {
+	if cfg.MaxColors == 0 {
+		cfg.MaxColors = color.NumColors
+	}
+	mpki := make([]float64, cfg.MaxColors)
+	run := func(k int) {
+		m := NewMachine(workload.New(app, cfg.Seed), Options{
+			Mode:      cfg.Mode,
+			Colors:    color.First(k + 1),
+			L3Enabled: cfg.L3Enabled,
+			Seed:      cfg.Seed,
+		})
+		if cfg.SkipInstructions > 0 {
+			m.RunInstructions(cfg.SkipInstructions)
+		}
+		m.ResetMetrics()
+		m.RunInstructions(cfg.SliceInstructions)
+		mpki[k] = m.Metrics().MPKI()
+	}
+	if cfg.Parallel {
+		var wg sync.WaitGroup
+		for k := 0; k < cfg.MaxColors; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				run(k)
+			}(k)
+		}
+		wg.Wait()
+	} else {
+		for k := 0; k < cfg.MaxColors; k++ {
+			run(k)
+		}
+	}
+	return mpki
+}
+
+// MissRateTimeline runs the application at a fixed partition size and
+// returns the L2 MPKI of consecutive intervals — the raw material of
+// Figure 2a and of online phase detection.
+func MissRateTimeline(app workload.Config, colors int, intervals int, intervalInstr uint64, cfg RealMRCConfig) []float64 {
+	m := NewMachine(workload.New(app, cfg.Seed), Options{
+		Mode:      cfg.Mode,
+		Colors:    color.First(colors),
+		L3Enabled: cfg.L3Enabled,
+		Seed:      cfg.Seed,
+	})
+	out := make([]float64, intervals)
+	for i := range out {
+		m.ResetMetrics()
+		m.RunInstructions(intervalInstr)
+		out[i] = m.Metrics().MPKI()
+	}
+	return out
+}
+
+// IntervalMetrics is MissRateTimeline returning the full interval metrics
+// (instructions, cycles, misses) instead of MPKI only — Table 2's phase
+// length column needs the cycle counts.
+func IntervalMetrics(app workload.Config, colors int, intervals int, intervalInstr uint64, cfg RealMRCConfig) []Metrics {
+	m := NewMachine(workload.New(app, cfg.Seed), Options{
+		Mode:      cfg.Mode,
+		Colors:    color.First(colors),
+		L3Enabled: cfg.L3Enabled,
+		Seed:      cfg.Seed,
+	})
+	out := make([]Metrics, intervals)
+	for i := range out {
+		m.ResetMetrics()
+		m.RunInstructions(intervalInstr)
+		out[i] = m.Metrics()
+	}
+	return out
+}
+
+// MissRateTimelines measures timelines for every partition size in
+// parallel (Figure 2a plots all 16).
+func MissRateTimelines(app workload.Config, intervals int, intervalInstr uint64, cfg RealMRCConfig) [][]float64 {
+	if cfg.MaxColors == 0 {
+		cfg.MaxColors = color.NumColors
+	}
+	out := make([][]float64, cfg.MaxColors)
+	var wg sync.WaitGroup
+	for k := 1; k <= cfg.MaxColors; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			out[k-1] = MissRateTimeline(app, k, intervals, intervalInstr, cfg)
+		}(k)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,208 @@
+// Package pmu models the POWER5 performance monitoring unit as RapidMRC
+// uses it: event counters, the sampled data address register (SDAR) with
+// continuous data sampling, and counter-overflow exceptions configured to
+// fire on every L1-D miss during a probing period.
+//
+// The model includes the two documented infidelities of the real hardware
+// (§3.1.1 of the paper), because RapidMRC's evaluation is largely about
+// coping with them:
+//
+//   - Overlap loss: with multiple L1-D misses in flight on an out-of-order
+//     core, the later miss may never update the SDAR — after the exception
+//     flush it re-issues and hits, so the event vanishes from the trace.
+//   - Prefetch staleness: hardware prefetch bursts do not update the SDAR,
+//     so the exception handler re-records the previous value, producing
+//     runs of identical entries in the log.
+package pmu
+
+import (
+	"math/rand"
+
+	"rapidmrc/internal/mem"
+)
+
+// Counters holds the free-running event counters the platform exposes.
+// All counts are demand traffic; prefetch fills are counted separately.
+type Counters struct {
+	// L1DMisses counts load/store misses in the L1 data cache — the SDAR
+	// selection criterion RapidMRC programs.
+	L1DMisses uint64
+	// L2Accesses counts demand accesses reaching the L2 (L1-D load
+	// misses, store write-throughs, and L1-I misses).
+	L2Accesses uint64
+	// L2Misses counts demand L2 misses; MPKI is computed from this.
+	L2Misses uint64
+	// PrefetchFills counts lines installed in the L2 by the prefetcher.
+	PrefetchFills uint64
+}
+
+// TraceStats describes one completed probing period.
+type TraceStats struct {
+	// Captured is the number of entries recorded into the log.
+	Captured int
+	// Dropped counts L1-D misses lost to overlap (no log entry at all).
+	Dropped int
+	// Stale counts log entries recorded while the SDAR held a stale value
+	// because a prefetch burst was in flight; these appear as repeats.
+	Stale int
+	// Instructions and Cycles are the application progress during the
+	// probing period, for MPKI normalization and overhead reporting.
+	Instructions uint64
+	Cycles       uint64
+}
+
+// PMU is the per-core monitoring unit. It is not safe for concurrent use.
+type PMU struct {
+	rng      *rand.Rand
+	counters Counters
+
+	sdar      mem.Line
+	sdarValid bool
+	staleLeft int
+
+	tracing    bool
+	target     int
+	trace      []mem.Line
+	tstats     TraceStats
+	startInstr uint64
+	startCyc   uint64
+
+	// bufferSize > 1 enables the "future PMU" of §6: samples accumulate
+	// in a hardware trace buffer and the overflow exception fires only
+	// when the buffer fills, amortizing its cost; the buffer captures
+	// every in-flight access, so overlap drops and stale-SDAR
+	// repetitions do not occur.
+	bufferSize int
+	buffered   int
+}
+
+// New returns a PMU whose stochastic artifacts are driven by seed.
+func New(seed int64) *PMU {
+	return &PMU{rng: rand.New(rand.NewSource(seed)), bufferSize: 1}
+}
+
+// SetTraceBuffer configures the trace-buffer depth. Depth 1 (the
+// default) is the real POWER5: a single SDAR register and an exception on
+// every qualifying event, with the overlap and staleness artifacts of
+// §3.1.1. Depth > 1 models the hardware the paper wishes for in §6: the
+// exception cost is paid once per full buffer and the buffer records
+// every access faithfully.
+func (p *PMU) SetTraceBuffer(depth int) {
+	if depth < 1 {
+		depth = 1
+	}
+	p.bufferSize = depth
+}
+
+// TraceBuffer returns the configured buffer depth.
+func (p *PMU) TraceBuffer() int { return p.bufferSize }
+
+// Counters returns a copy of the counter block.
+func (p *PMU) Counters() Counters { return p.counters }
+
+// ResetCounters zeroes the counters; trace state is unaffected.
+func (p *PMU) ResetCounters() { p.counters = Counters{} }
+
+// OnL2Access records one demand L2 access and whether it missed.
+func (p *PMU) OnL2Access(miss bool) {
+	p.counters.L2Accesses++
+	if miss {
+		p.counters.L2Misses++
+	}
+}
+
+// OnPrefetchFill records a prefetcher-installed L2 line and marks the SDAR
+// busy for the burst: the next burstLen qualifying events will record a
+// stale SDAR value instead of their own address.
+func (p *PMU) OnPrefetchFill(burstLen int) {
+	p.counters.PrefetchFills += uint64(burstLen)
+	if burstLen > p.staleLeft {
+		p.staleLeft = burstLen
+	}
+}
+
+// StartTrace arms continuous data sampling with an overflow threshold of
+// one, targeting n log entries. instr and cycles timestamp the start.
+func (p *PMU) StartTrace(n int, instr, cycles uint64) {
+	p.tracing = true
+	p.target = n
+	p.trace = make([]mem.Line, 0, n)
+	p.tstats = TraceStats{}
+	p.startInstr = instr
+	p.startCyc = cycles
+	p.buffered = 0
+}
+
+// Tracing reports whether a probing period is active.
+func (p *PMU) Tracing() bool { return p.tracing }
+
+// TraceFull reports whether the log has reached its target length.
+func (p *PMU) TraceFull() bool { return p.tracing && len(p.trace) >= p.target }
+
+// FinishTrace disarms sampling and returns the captured log and its stats.
+// instr and cycles timestamp the end.
+func (p *PMU) FinishTrace(instr, cycles uint64) ([]mem.Line, TraceStats) {
+	p.tracing = false
+	p.tstats.Captured = len(p.trace)
+	p.tstats.Instructions = instr - p.startInstr
+	p.tstats.Cycles = cycles - p.startCyc
+	trace := p.trace
+	p.trace = nil
+	return trace, p.tstats
+}
+
+// OnL1DMiss processes one qualifying event. line is the physical line that
+// missed; overlapped says the core had another miss in flight;
+// dropPermille is the loss probability for overlapped events (from the
+// core's timing). It returns whether an overflow exception was raised —
+// the caller charges its cycle cost while tracing.
+func (p *PMU) OnL1DMiss(line mem.Line, overlapped bool, dropPermille uint64) (exception bool) {
+	p.counters.L1DMisses++
+
+	if p.bufferSize > 1 {
+		// Future-PMU path: the buffer records the true address of every
+		// event; the exception amortizes over the buffer depth.
+		if !p.tracing || len(p.trace) >= p.target {
+			return false
+		}
+		p.trace = append(p.trace, line)
+		p.buffered++
+		if p.buffered >= p.bufferSize || len(p.trace) >= p.target {
+			p.buffered = 0
+			return true
+		}
+		return false
+	}
+
+	if overlapped && dropPermille > 0 && uint64(p.rng.Intn(1000)) < dropPermille {
+		// The in-flight miss re-issues as a hit after the flush: no SDAR
+		// update, no overflow, no log entry.
+		if p.tracing {
+			p.tstats.Dropped++
+		}
+		return false
+	}
+
+	if p.staleLeft > 0 {
+		// Prefetch burst in flight: SDAR keeps its old value.
+		p.staleLeft--
+		if p.tracing {
+			p.tstats.Stale++
+		}
+	} else {
+		p.sdar = line
+		p.sdarValid = true
+	}
+
+	if !p.tracing || len(p.trace) >= p.target {
+		return false
+	}
+	rec := p.sdar
+	if !p.sdarValid {
+		// Nothing sampled yet since power-on; hardware would expose
+		// whatever the register held. Record the line itself.
+		rec = line
+	}
+	p.trace = append(p.trace, rec)
+	return true
+}

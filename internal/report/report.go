@@ -1,0 +1,150 @@
+// Package report renders experiment results as aligned ASCII tables,
+// whitespace-separated data series (gnuplot-ready), and rough terminal
+// line plots.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders rows under headers with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series renders named columns against an x column, one row per point —
+// directly loadable by gnuplot or any plotting tool.
+func Series(xName string, x []float64, names []string, ys [][]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s", xName)
+	for _, n := range names {
+		fmt.Fprintf(&b, "\t%s", n)
+	}
+	b.WriteByte('\n')
+	for i, xv := range x {
+		fmt.Fprintf(&b, "%g", xv)
+		for _, y := range ys {
+			if i < len(y) {
+				fmt.Fprintf(&b, "\t%.4f", y[i])
+			} else {
+				b.WriteString("\t-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// plotGlyphs mark successive series in Plot.
+var plotGlyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Plot draws series as a crude ASCII chart, y auto-scaled, x spread over
+// width columns. It is meant for eyeballing curve shapes in a terminal,
+// not for publication.
+func Plot(title string, names []string, series [][]float64, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		for _, v := range s {
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	if maxLen == 0 || math.IsInf(ymin, 1) {
+		return title + ": (no data)\n"
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := plotGlyphs[si%len(plotGlyphs)]
+		for i, v := range s {
+			col := 0
+			if maxLen > 1 {
+				col = i * (width - 1) / (maxLen - 1)
+			}
+			row := int(math.Round((ymax - v) / (ymax - ymin) * float64(height-1)))
+			grid[row][col] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%7.1f ", ymin)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", width))
+	legend := make([]string, 0, len(names))
+	for i, n := range names {
+		legend = append(legend, fmt.Sprintf("%c=%s", plotGlyphs[i%len(plotGlyphs)], n))
+	}
+	fmt.Fprintf(&b, "        %s\n", strings.Join(legend, "  "))
+	return b.String()
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string {
+	switch {
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Pct formats a fraction as a percentage cell.
+func Pct(v float64) string { return fmt.Sprintf("%.0f%%", 100*v) }

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignsColumns(t *testing.T) {
+	out := Table([]string{"Name", "Value"}, [][]string{
+		{"a", "1"},
+		{"longer-name", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Header and rows share column offsets: "Value" and the values start
+	// at the same column.
+	hIdx := strings.Index(lines[0], "Value")
+	for _, row := range lines[2:] {
+		fields := strings.Fields(row)
+		vIdx := strings.LastIndex(row, fields[len(fields)-1])
+		if vIdx != hIdx {
+			t.Errorf("misaligned row %q (value at %d, header at %d)", row, vIdx, hIdx)
+		}
+	}
+}
+
+func TestSeriesFormat(t *testing.T) {
+	out := Series("x", []float64{1, 2}, []string{"a", "b"},
+		[][]float64{{10, 20}, {30, 40}})
+	want := "# x\ta\tb\n1\t10.0000\t30.0000\n2\t20.0000\t40.0000\n"
+	if out != want {
+		t.Fatalf("series:\n%q\nwant:\n%q", out, want)
+	}
+}
+
+func TestSeriesShortColumn(t *testing.T) {
+	out := Series("x", []float64{1, 2}, []string{"a"}, [][]float64{{5}})
+	if !strings.Contains(out, "\t-") {
+		t.Fatalf("missing placeholder for short column:\n%s", out)
+	}
+}
+
+func TestPlotContainsGlyphsAndScale(t *testing.T) {
+	out := Plot("title", []string{"s1", "s2"},
+		[][]float64{{0, 5, 10}, {10, 5, 0}}, 20, 6)
+	for _, want := range []string{"title", "10.0", "0.0", "*", "+", "*=s1", "+=s2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotEmptyAndFlat(t *testing.T) {
+	if out := Plot("empty", nil, nil, 10, 5); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot: %q", out)
+	}
+	// A constant series must not divide by zero.
+	out := Plot("flat", []string{"s"}, [][]float64{{3, 3, 3}}, 10, 5)
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat plot lost its points:\n%s", out)
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	out := Plot("t", []string{"s"}, [][]float64{{1, 2}}, 1, 1)
+	if len(strings.Split(out, "\n")) < 4 {
+		t.Fatalf("clamped plot too small:\n%s", out)
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		123.456: "123",
+		12.34:   "12.3",
+		1.234:   "1.23",
+		-150:    "-150",
+	}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Errorf("F(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.42); got != "42%" {
+		t.Fatalf("Pct(0.42) = %q", got)
+	}
+}

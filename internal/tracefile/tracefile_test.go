@@ -1,0 +1,165 @@
+package tracefile
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rapidmrc/internal/mem"
+)
+
+func TestRoundTrip(t *testing.T) {
+	in := &Trace{
+		Lines:        []mem.Line{100, 101, 102, 5, 1 << 40, 0, 1 << 40},
+		Instructions: 123_456,
+		Cycles:       789_012,
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Instructions != in.Instructions || out.Cycles != in.Cycles {
+		t.Fatalf("metadata lost: %+v", out)
+	}
+	if len(out.Lines) != len(in.Lines) {
+		t.Fatalf("%d lines, want %d", len(out.Lines), len(in.Lines))
+	}
+	for i := range in.Lines {
+		if out.Lines[i] != in.Lines[i] {
+			t.Fatalf("line %d = %d, want %d", i, out.Lines[i], in.Lines[i])
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Trace{Instructions: 5}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Lines) != 0 || out.Instructions != 5 {
+		t.Fatalf("empty round trip: %+v", out)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n16 uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := &Trace{
+			Instructions: r.Uint64(),
+			Cycles:       r.Uint64(),
+			Lines:        make([]mem.Line, n16%2048),
+		}
+		cur := uint64(r.Int63())
+		for i := range in.Lines {
+			// Mix of stream steps, repeats, and far jumps — the shapes
+			// real traces have.
+			switch r.Intn(4) {
+			case 0:
+				cur++
+			case 1: // repeat
+			default:
+				cur = uint64(r.Int63())
+			}
+			in.Lines[i] = mem.Line(cur)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(out.Lines) != len(in.Lines) {
+			return false
+		}
+		for i := range in.Lines {
+			if out.Lines[i] != in.Lines[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressionOnStreamTrace(t *testing.T) {
+	in := &Trace{Lines: make([]mem.Line, 100_000)}
+	for i := range in.Lines {
+		in.Lines[i] = mem.Line(1<<30 + i) // pure stream
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	raw := 8 * len(in.Lines)
+	if buf.Len() > raw/4 {
+		t.Errorf("stream trace compressed to %d bytes, want < %d", buf.Len(), raw/4)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("WRONG---------------------------------"),
+		append([]byte("RMRC"), 9, 9), // truncated header
+	}
+	for i, c := range cases {
+		if _, err := Read(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Bad version.
+	var buf bytes.Buffer
+	if err := Write(&buf, &Trace{Lines: []mem.Line{1}}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // version field
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncated entries.
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, &Trace{Lines: []mem.Line{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf2.Bytes()[:buf2.Len()-1]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+	// Implausible count.
+	var buf3 bytes.Buffer
+	if err := Write(&buf3, &Trace{}); err != nil {
+		t.Fatal(err)
+	}
+	b3 := buf3.Bytes()
+	for i := 24; i < 32; i++ {
+		b3[i] = 0xff
+	}
+	if _, err := Read(bytes.NewReader(b3)); err == nil {
+		t.Error("implausible count accepted")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40), 1<<63 - 1, -(1 << 62)} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round trip of %d = %d", v, got)
+		}
+	}
+	if zigzag(-1) != 1 || zigzag(1) != 2 {
+		t.Error("zigzag mapping not canonical")
+	}
+}

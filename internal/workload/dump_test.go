@@ -1,0 +1,25 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestDumpShapes prints solved component sizes when WORKLOAD_DUMP=1; it
+// exists for calibration sessions and is silent otherwise.
+func TestDumpShapes(t *testing.T) {
+	if os.Getenv("WORKLOAD_DUMP") == "" {
+		t.Skip("set WORKLOAD_DUMP=1 to dump")
+	}
+	for _, n := range Names() {
+		cfg := MustByName(n)
+		fmt.Println("==", n)
+		for pi, ph := range cfg.Phases {
+			for _, c := range ph.Mix {
+				fmt.Printf("  phase %d: w=%.4f kind=%-6v lines=%6d (%.2f colors)\n",
+					pi, c.Weight, c.Kind, c.Lines, float64(c.Lines)/ColorLines)
+			}
+		}
+	}
+}

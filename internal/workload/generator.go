@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rapidmrc/internal/mem"
+)
+
+// Scale relates simulated instruction counts to the paper's: one simulated
+// instruction stands for Scale real instructions. The paper's phase
+// lengths and slice positions (billions of instructions) are divided by
+// Scale everywhere in the experiment drivers.
+const Scale = 1000
+
+// Component is one weighted pattern in a phase's mix.
+type Component struct {
+	// Weight is the fraction of memory references served by this
+	// component. Weights in a mix must sum to (near) 1.
+	Weight float64
+	// Kind selects the pattern primitive.
+	Kind Kind
+	// Lines is the pattern's working-set size in cache lines.
+	Lines int
+}
+
+// Phase is one stretch of stationary behaviour.
+type Phase struct {
+	// Instructions is the phase length (simulated instructions). The
+	// schedule cycles: after the last phase the first begins again. A
+	// single phase of any length means stationary behaviour forever.
+	Instructions uint64
+	// Mix is the weighted pattern set active during the phase.
+	Mix []Component
+}
+
+// Config describes one synthetic application.
+type Config struct {
+	// Name identifies the application ("mcf", "libquantum", ...).
+	Name string
+	// MemFrac is the fraction of instructions that reference memory
+	// (the paper assumes roughly one in three).
+	MemFrac float64
+	// StoreFrac is the fraction of memory references that are stores.
+	// Stores are write-through to the L2 and invisible to the SDAR when
+	// they hit the L1, so store-heavy applications develop positive
+	// v-offsets.
+	StoreFrac float64
+	// Phases is the cyclic phase schedule.
+	Phases []Phase
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("workload: empty name")
+	}
+	if c.MemFrac <= 0 || c.MemFrac > 1 {
+		return fmt.Errorf("workload %s: MemFrac %v out of (0,1]", c.Name, c.MemFrac)
+	}
+	if c.StoreFrac < 0 || c.StoreFrac > 1 {
+		return fmt.Errorf("workload %s: StoreFrac %v out of [0,1]", c.Name, c.StoreFrac)
+	}
+	if len(c.Phases) == 0 {
+		return fmt.Errorf("workload %s: no phases", c.Name)
+	}
+	for i, ph := range c.Phases {
+		if ph.Instructions == 0 {
+			return fmt.Errorf("workload %s: phase %d has zero length", c.Name, i)
+		}
+		if len(ph.Mix) == 0 {
+			return fmt.Errorf("workload %s: phase %d has empty mix", c.Name, i)
+		}
+		total := 0.0
+		for j, comp := range ph.Mix {
+			if comp.Weight <= 0 {
+				return fmt.Errorf("workload %s: phase %d component %d has weight %v", c.Name, i, j, comp.Weight)
+			}
+			// Stream components may leave Lines zero, meaning the
+			// default huge region.
+			if comp.Lines <= 0 && comp.Kind != Stream {
+				return fmt.Errorf("workload %s: phase %d component %d has %d lines", c.Name, i, j, comp.Lines)
+			}
+			if comp.Lines < 0 {
+				return fmt.Errorf("workload %s: phase %d component %d has negative lines", c.Name, i, j)
+			}
+			total += comp.Weight
+		}
+		if total < 0.999 || total > 1.001 {
+			return fmt.Errorf("workload %s: phase %d weights sum to %v, want 1", c.Name, i, total)
+		}
+	}
+	return nil
+}
+
+// phaseState is an instantiated phase: its patterns plus cumulative
+// weights for selection.
+type phaseState struct {
+	length   uint64
+	patterns []pattern
+	cumul    []float64
+}
+
+// Gen is a deterministic reference generator implementing mem.Generator.
+type Gen struct {
+	cfg    Config
+	seed   int64
+	rng    *rand.Rand
+	phases []phaseState
+	cycle  uint64 // total schedule length
+
+	instr   uint64 // instructions completed (including pending gap)
+	gapMax  int
+	current int // current phase index
+}
+
+// New instantiates cfg with the given seed. It panics on an invalid
+// config: configurations are static data in this repository, so errors are
+// programming mistakes.
+func New(cfg Config, seed int64) *Gen {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	g := &Gen{cfg: cfg, seed: seed}
+	g.Reset(seed)
+	return g
+}
+
+// Name implements mem.Generator.
+func (g *Gen) Name() string { return g.cfg.Name }
+
+// Config returns the generator's configuration.
+func (g *Gen) Config() Config { return g.cfg }
+
+// Reset implements mem.Generator: it rebuilds all pattern state from seed.
+func (g *Gen) Reset(seed int64) {
+	g.seed = seed
+	g.rng = rand.New(rand.NewSource(seed))
+	g.instr = 0
+	g.current = 0
+	g.cycle = 0
+	g.phases = g.phases[:0]
+
+	// Lay out each component in its own virtual region, page-aligned with
+	// a guard gap so no two patterns share a line or a page.
+	const guardLines = 16 * mem.LinesPerPage
+	base := mem.Line(mem.LinesPerPage) // skip page 0
+	for _, ph := range g.cfg.Phases {
+		st := phaseState{length: ph.Instructions}
+		sum := 0.0
+		for _, comp := range ph.Mix {
+			st.patterns = append(st.patterns, build(comp.Kind, base, comp.Lines, g.rng))
+			region := regionLines(comp.Kind, comp.Lines)
+			// Round the region up to whole pages and add the guard.
+			pages := (region + mem.LinesPerPage - 1) / mem.LinesPerPage
+			base += mem.Line(pages*mem.LinesPerPage + guardLines)
+			sum += comp.Weight
+			st.cumul = append(st.cumul, sum)
+		}
+		g.cycle += ph.Instructions
+		g.phases = append(g.phases, st)
+	}
+
+	// Mean gap between memory references: 1/MemFrac - 1 non-memory
+	// instructions. Gaps are uniform on [0, 2*mean] so the mean holds.
+	mean := 1/g.cfg.MemFrac - 1
+	g.gapMax = int(2*mean + 0.5)
+}
+
+// phaseFor returns the phase index active at instruction count n.
+func (g *Gen) phaseFor(n uint64) int {
+	pos := n % g.cycle
+	for i := range g.phases {
+		if pos < g.phases[i].length {
+			return i
+		}
+		pos -= g.phases[i].length
+	}
+	return len(g.phases) - 1 // unreachable: lengths sum to cycle
+}
+
+// Next implements mem.Generator.
+func (g *Gen) Next() mem.Ref {
+	gap := uint32(0)
+	if g.gapMax > 0 {
+		gap = uint32(g.rng.Intn(g.gapMax + 1))
+	}
+	g.instr += uint64(gap) + 1
+
+	g.current = g.phaseFor(g.instr)
+	ph := &g.phases[g.current]
+
+	// Weighted component pick.
+	x := g.rng.Float64() * ph.cumul[len(ph.cumul)-1]
+	idx := 0
+	for idx < len(ph.cumul)-1 && x >= ph.cumul[idx] {
+		idx++
+	}
+	line := ph.patterns[idx].next(g.rng)
+
+	kind := mem.Load
+	if g.rng.Float64() < g.cfg.StoreFrac {
+		kind = mem.Store
+	}
+	return mem.Ref{Addr: mem.AddrOfLine(line), Kind: kind, Gap: gap}
+}
+
+// CurrentPhase returns the index of the phase the generator is in.
+func (g *Gen) CurrentPhase() int { return g.current }
+
+// Footprint returns the total number of distinct lines the workload can
+// touch across all phases.
+func (g *Gen) Footprint() int {
+	n := 0
+	for _, ph := range g.phases {
+		for _, p := range ph.patterns {
+			n += p.footprint()
+		}
+	}
+	return n
+}
+
+var _ mem.Generator = (*Gen)(nil)

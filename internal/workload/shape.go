@@ -1,0 +1,149 @@
+package workload
+
+// This file turns declarative MRC shapes (knees, tails, streams) into
+// component mixes. The subtlety it handles: components share one LRU
+// stack, so between two visits to a line of component i, every other
+// component contributes distinct lines, inflating i's effective stack
+// distance. Sizing a knee at K colors therefore requires a working set
+// *smaller* than K×960 lines by exactly that inflation. The fixed-point
+// solver below computes it.
+
+// Knee is one step of a declining MRC: the real curve drops by MPKI once
+// the partition reaches Colors colors.
+type Knee struct {
+	Colors float64
+	MPKI   float64
+}
+
+// appShape declares one phase's MRC shape.
+type appShape struct {
+	memFrac   float64
+	storeFrac float64
+	// small is an L2-resident feeder (fits one color together with the
+	// filler): it misses the L1 constantly, feeding the PMU trace and
+	// setting the stack hit rate, without adding L2 misses. Loop smalls
+	// additionally exercise the prefetcher (high conversion rates).
+	smallKind  Kind
+	smallLines int
+	smallW     float64
+	// knees is the declining structure.
+	knees []Knee
+	// tailMPKI/tailLines is a flat always-missing random component
+	// (pointer-chase-like traffic the prefetcher cannot cover).
+	tailMPKI  float64
+	tailLines int
+	// streamMPKI is a flat always-missing sequential component that the
+	// prefetcher covers almost entirely on the real machine — the source
+	// of large negative v-offsets.
+	streamMPKI float64
+}
+
+// kneeSolverIters bounds the fixed-point iteration.
+const kneeSolverIters = 300
+
+// minKneeLines keeps solved working sets sane.
+const minKneeLines = 64
+
+// mix converts the shape into a weighted component list (without filler).
+func (s appShape) mix() []Component {
+	refsPerKI := 1000 * s.memFrac
+	var comps []Component
+	if s.smallW > 0 {
+		comps = append(comps, Component{Weight: s.smallW, Kind: s.smallKind, Lines: s.smallLines})
+	}
+
+	// Unique-line rate of the always-missing components: every one of
+	// their references touches a line no one revisits soon.
+	uniqueRate := (s.tailMPKI + s.streamMPKI) / refsPerKI
+
+	// Fixed occupancy below every knee: the small feeder plus the
+	// L1-resident filler (kept warm in the L2 by store write-throughs).
+	fixed := s.smallLines + fillerLines
+
+	// Solve knee working sets with damped Jacobi iteration: each knee's
+	// effective distance couples to every other knee, and undamped
+	// updates oscillate into degenerate (collapsed) solutions.
+	n := len(s.knees)
+	w := make([]float64, n)
+	lines := make([]float64, n)
+	for i, k := range s.knees {
+		w[i] = k.MPKI / refsPerKI
+		// Initial guess: the spacing to the previous knee, which is the
+		// asymptotic solution when all weights are comparable.
+		prev := 0.0
+		if i > 0 {
+			prev = s.knees[i-1].Colors
+		}
+		lines[i] = (k.Colors - prev) * ColorLines
+		if lines[i] < minKneeLines {
+			lines[i] = minKneeLines
+		}
+	}
+	next := make([]float64, n)
+	for iter := 0; iter < kneeSolverIters; iter++ {
+		for i := range s.knees {
+			target := s.knees[i].Colors * ColorLines
+			t := lines[i] / w[i] // references between revisits
+			infl := float64(fixed) + t*uniqueRate
+			for j := range s.knees {
+				if j == i {
+					continue
+				}
+				touched := t * w[j]
+				if touched > lines[j] {
+					touched = lines[j]
+				}
+				infl += touched
+			}
+			solved := target - infl
+			if solved < minKneeLines {
+				solved = minKneeLines
+			}
+			next[i] = 0.5*lines[i] + 0.5*solved
+		}
+		copy(lines, next)
+	}
+	for i := range s.knees {
+		comps = append(comps, Component{Weight: w[i], Kind: Chase, Lines: int(lines[i])})
+	}
+
+	if s.tailMPKI > 0 {
+		tl := s.tailLines
+		if tl == 0 {
+			tl = 200_000
+		}
+		comps = append(comps, Component{Weight: s.tailMPKI / refsPerKI, Kind: Random, Lines: tl})
+	}
+	if s.streamMPKI > 0 {
+		comps = append(comps, Component{Weight: s.streamMPKI / refsPerKI, Kind: Stream})
+	}
+	return comps
+}
+
+// config builds a stationary single-phase application from the shape.
+func (s appShape) config(name string) Config {
+	return Config{
+		Name:      name,
+		MemFrac:   s.memFrac,
+		StoreFrac: s.storeFrac,
+		Phases:    []Phase{{Instructions: forever, Mix: fill(s.mix())}},
+	}
+}
+
+// phasedShapes builds a cyclic multi-phase application; lengths[i] is the
+// i-th phase duration in simulated instructions.
+func phasedShapes(name string, lengths []uint64, shapes []appShape) Config {
+	if len(lengths) != len(shapes) {
+		panic("workload: phase lengths and shapes mismatched")
+	}
+	phases := make([]Phase, len(shapes))
+	for i, sh := range shapes {
+		phases[i] = Phase{Instructions: lengths[i], Mix: fill(sh.mix())}
+	}
+	return Config{
+		Name:      name,
+		MemFrac:   shapes[0].memFrac,
+		StoreFrac: shapes[0].storeFrac,
+		Phases:    phases,
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeMixWeightsAndKinds(t *testing.T) {
+	s := appShape{
+		memFrac: 0.3, storeFrac: 0.2,
+		smallKind: Chase, smallLines: 700, smallW: 0.05,
+		knees:      []Knee{{3, 3}, {8, 2}},
+		tailMPKI:   1.5,
+		streamMPKI: 2.0,
+	}
+	comps := s.mix()
+	// small + 2 knees + tail + stream.
+	if len(comps) != 5 {
+		t.Fatalf("mix has %d components", len(comps))
+	}
+	if comps[0].Kind != Chase || comps[0].Lines != 700 {
+		t.Fatalf("small component wrong: %+v", comps[0])
+	}
+	// Knee weights: MPKI / (1000·memFrac).
+	if w := comps[1].Weight; w < 0.0099 || w > 0.0101 {
+		t.Errorf("knee weight = %v, want 0.01", w)
+	}
+	tail := comps[3]
+	if tail.Kind != Random || tail.Lines != 200_000 {
+		t.Errorf("tail component wrong: %+v", tail)
+	}
+	if comps[4].Kind != Stream {
+		t.Errorf("stream component wrong: %+v", comps[4])
+	}
+}
+
+// TestSolverRespectsOrdering checks solved knee working sets are positive
+// and ordered with their targets (a later knee never gets a smaller
+// working set than an earlier one after accounting for inflation... the
+// weaker always-true property: all ≥ minKneeLines and the largest target
+// yields the largest effective footprint).
+func TestSolverRespectsOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		// Random 2–4 knees with ascending targets.
+		n := int(seed%3+2) % 4
+		if n < 2 {
+			n = 2
+		}
+		knees := make([]Knee, n)
+		c := 1.5
+		for i := range knees {
+			c += 1.5 + float64((seed>>uint(i))&3)
+			if c > 15 {
+				c = 15
+			}
+			knees[i] = Knee{Colors: c, MPKI: 1 + float64((seed>>uint(2*i))&7)}
+		}
+		s := appShape{memFrac: 0.3, knees: knees, tailMPKI: 1}
+		comps := s.mix()
+		for _, comp := range comps {
+			if comp.Kind == Chase && comp.Lines < minKneeLines {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolverSoloKneeNearTarget: with no co-resident traffic beyond the
+// filler, a lone knee solves to nearly its target size.
+func TestSolverSoloKneeNearTarget(t *testing.T) {
+	s := appShape{memFrac: 0.3, knees: []Knee{{5, 3}}}
+	comps := s.mix()
+	if len(comps) != 1 {
+		t.Fatalf("mix = %+v", comps)
+	}
+	got := comps[0].Lines
+	want := 5*ColorLines - fillerLines
+	if got < want-50 || got > want+50 {
+		t.Fatalf("solo knee solved to %d lines, want ≈%d", got, want)
+	}
+}
+
+// TestSolvedConfigsFitTheCache: an application's total solved chase
+// footprint plus fixed occupancy must not exceed the L2, or its largest
+// knee could never be satisfied at 16 colors.
+func TestSolvedConfigsFitTheCache(t *testing.T) {
+	const l2Lines = 16 * ColorLines
+	for _, name := range Names() {
+		cfg := MustByName(name)
+		for pi, ph := range cfg.Phases {
+			total := 0
+			for _, c := range ph.Mix {
+				if c.Kind == Chase || c.Kind == Loop {
+					total += c.Lines
+				}
+			}
+			if total > l2Lines {
+				t.Errorf("%s phase %d: resident footprint %d lines exceeds L2 (%d)",
+					name, pi, total, l2Lines)
+			}
+		}
+	}
+}
+
+func TestPhasedShapesMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths did not panic")
+		}
+	}()
+	phasedShapes("x", []uint64{1, 2}, []appShape{{memFrac: 0.3}})
+}
+
+func TestPhasedShapesBuildsCyclicSchedule(t *testing.T) {
+	cfg := phasedShapes("p", []uint64{100, 200}, []appShape{
+		{memFrac: 0.3, knees: []Knee{{2, 3}}},
+		{memFrac: 0.3, tailMPKI: 2},
+	})
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Phases) != 2 || cfg.Phases[0].Instructions != 100 || cfg.Phases[1].Instructions != 200 {
+		t.Fatalf("phases = %+v", cfg.Phases)
+	}
+}

@@ -1,0 +1,100 @@
+package rapidmrc
+
+import (
+	"rapidmrc/internal/dynamic"
+	"rapidmrc/internal/platform"
+	"rapidmrc/internal/workload"
+)
+
+// Manager is the closed-loop cache manager the paper sketches as future
+// work (§5.3): it co-schedules applications on the shared L2, monitors
+// each one's miss rate with PMU counters, detects phase transitions,
+// re-runs RapidMRC for whichever application changed, re-optimizes the
+// partition split, and migrates pages to enforce it.
+//
+// Recurring probing periods are only affordable with the buffered PMU of
+// §6 (see WithTraceBuffer); the Manager defaults to a 256-entry buffer.
+type Manager struct {
+	ctl *dynamic.Controller
+}
+
+// ManagerStats mirrors the controller's activity counters.
+type ManagerStats struct {
+	Intervals      int
+	Transitions    int
+	Recomputations int
+	Repartitions   int
+	PagesMigrated  int
+}
+
+// WithTraceBuffer sets the PMU trace-buffer depth for systems and
+// managers (0/1 = the real POWER5's per-event exceptions; larger models
+// the §6 hardware).
+func WithTraceBuffer(depth int) SystemOption {
+	return func(o *sysOptions) { o.traceBuffer = depth }
+}
+
+// NewManager builds a manager over the named applications, starting from
+// an even partition split. Options understood: WithSeed, WithoutL3,
+// WithSimplifiedMode / WithoutPrefetch, WithTraceEntries (probing length),
+// WithTraceBuffer.
+func NewManager(apps []string, opts ...SystemOption) (*Manager, error) {
+	cfgs := make([]workload.Config, len(apps))
+	for i, n := range apps {
+		c, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		cfgs[i] = c
+	}
+	o := defaultSysOptions()
+	o.traceBuffer = 256
+	o.entries = 48_000
+	for _, fn := range opts {
+		fn(&o)
+	}
+	dcfg := dynamic.DefaultConfig()
+	dcfg.TraceEntries = o.entries
+	ctl, err := dynamic.New(cfgs, platform.CoRunOptions{
+		Mode:        o.mode,
+		L3Enabled:   o.l3,
+		Seed:        o.seed,
+		TraceBuffer: o.traceBuffer,
+	}, dcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{ctl: ctl}, nil
+}
+
+// Run executes n monitoring intervals of closed-loop control.
+func (m *Manager) Run(n int) ManagerStats {
+	st := m.ctl.Run(n)
+	return ManagerStats{
+		Intervals:      st.Intervals,
+		Transitions:    st.Transitions,
+		Recomputations: st.Recomputations,
+		Repartitions:   st.Repartitions,
+		PagesMigrated:  st.PagesMigrated,
+	}
+}
+
+// Allocation returns the current colors-per-application split.
+func (m *Manager) Allocation() []int { return m.ctl.Alloc() }
+
+// Results reports each application's cumulative performance.
+func (m *Manager) Results() []CoRunResult {
+	machines := m.ctl.Machines()
+	alloc := m.ctl.Alloc()
+	out := make([]CoRunResult, len(machines))
+	for i, mm := range machines {
+		out[i] = CoRunResult{
+			App:          mm.Generator().Name(),
+			Colors:       alloc[i],
+			Instructions: mm.Core().Instructions(),
+			Cycles:       mm.Core().Cycles(),
+			IPC:          mm.Core().IPC(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package rapidmrc
+
+import (
+	"rapidmrc/internal/core"
+	"rapidmrc/internal/partition"
+	"rapidmrc/internal/phase"
+)
+
+// ChoosePartition returns the split of colors between two applications
+// minimizing total misses, the utility function of §4:
+//
+//	min over x of MRCa(x) + MRCb(C−x)
+func ChoosePartition(a, b *Curve, colors int) (int, int) {
+	return partition.ChoosePair(&core.MRC{MPKI: a.MPKI}, &core.MRC{MPKI: b.MPKI}, colors)
+}
+
+// ChoosePartitionN splits colors among any number of applications by
+// greedy marginal utility — the scalable approximation the paper points
+// to for more than two applications.
+func ChoosePartitionN(curves []*Curve, colors int) []int {
+	mrcs := make([]*core.MRC, len(curves))
+	for i, c := range curves {
+		mrcs[i] = &core.MRC{MPKI: c.MPKI}
+	}
+	return partition.ChooseN(mrcs, colors)
+}
+
+// PhaseDetector watches a stream of per-interval MPKI samples and reports
+// phase transitions, using the heuristic of §5.2.2. A transition signals
+// that the MRC is stale and should be recomputed.
+type PhaseDetector struct {
+	d *phase.Detector
+}
+
+// NewPhaseDetector returns a detector with the paper's parameters
+// (window 3, threshold 3 MPKI, 50 % hysteresis).
+func NewPhaseDetector() *PhaseDetector {
+	return &PhaseDetector{d: phase.New(phase.DefaultConfig())}
+}
+
+// NewPhaseDetectorWith returns a detector with custom parameters.
+func NewPhaseDetectorWith(window int, thresholdMPKI, hysteresisFrac float64) *PhaseDetector {
+	return &PhaseDetector{d: phase.New(phase.Config{
+		Window:         window,
+		ThresholdMPKI:  thresholdMPKI,
+		HysteresisFrac: hysteresisFrac,
+	})}
+}
+
+// Observe consumes one interval's MPKI and reports whether a phase
+// transition begins there.
+func (p *PhaseDetector) Observe(mpki float64) bool { return p.d.Observe(mpki) }
+
+// Transitions returns the number of transitions seen so far.
+func (p *PhaseDetector) Transitions() int { return p.d.Transitions() }
+
+// Reset clears the detector's history.
+func (p *PhaseDetector) Reset() { p.d.Reset() }

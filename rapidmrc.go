@@ -1,0 +1,175 @@
+// Package rapidmrc approximates L2 miss rate curves (MRCs) online, the
+// technique of Tam, Azimi, Soares & Stumm, "RapidMRC: Approximating L2
+// Miss Rate Curves on Commodity Systems for Online Optimizations"
+// (ASPLOS 2009).
+//
+// An MRC gives the L2 miss rate (in misses per kilo-instruction, MPKI) an
+// application would have at every possible cache allocation. RapidMRC
+// obtains it online in three steps:
+//
+//  1. Capture: the PMU's continuous data-address sampling is configured to
+//     record the address of every L1-D miss — the L2 access stream — into
+//     a trace log for a short probing period (~160k entries).
+//  2. Compute: the log is corrected for prefetch-induced repetitions and
+//     fed through a Mattson LRU stack simulator (with the range-list
+//     optimization), yielding a stack-distance histogram and from it the
+//     curve.
+//  3. Transpose: the curve is vertically shifted to match the measured
+//     miss rate at the currently configured cache size.
+//
+// Since this library targets commodity machines it cannot assume POWER5
+// hardware; it ships with a faithful simulated platform (see NewSystem)
+// that reproduces the PMU's sampling artifacts, the page-coloring
+// partitioning mechanism, and 30 synthetic applications standing in for
+// the paper's SPEC workloads. The Engine (step 2) is hardware-independent
+// and consumes any trace of cache-line addresses.
+//
+// The typical workflow is one call:
+//
+//	curve, stats, trace, err := rapidmrc.Online("mcf", rapidmrc.WithSeed(42))
+//
+// after which curve can size cache partitions:
+//
+//	a, b := rapidmrc.ChoosePartition(curveA, curveB, 16)
+package rapidmrc
+
+import (
+	"fmt"
+
+	"rapidmrc/internal/core"
+	"rapidmrc/internal/mem"
+)
+
+// Colors is the number of partition colors (and MRC points) on the
+// modeled platform.
+const Colors = 16
+
+// TraceEntries is the paper's default probing-period length: the trace
+// log holds 160k entries, roughly 10× the LRU stack size (§5.2.3).
+const TraceEntries = 160_000
+
+// Curve is a miss rate curve: MPKI at each partition size. Index 0 is one
+// color.
+type Curve struct {
+	MPKI []float64
+}
+
+// At returns the MPKI at a 1-based number of colors.
+func (c *Curve) At(colors int) float64 { return c.MPKI[colors-1] }
+
+// Clone returns a deep copy.
+func (c *Curve) Clone() *Curve {
+	out := make([]float64, len(c.MPKI))
+	copy(out, c.MPKI)
+	return &Curve{MPKI: out}
+}
+
+// Transpose shifts the whole curve so point refColors matches the
+// measured MPKI there (the v-offset correction, §3.2) and returns the
+// shift applied.
+func (c *Curve) Transpose(refColors int, measured float64) float64 {
+	m := core.MRC{MPKI: c.MPKI}
+	return m.Transpose(refColors-1, measured)
+}
+
+// Distance is the curve similarity metric of §5.2.1: mean absolute MPKI
+// difference across all points.
+func Distance(a, b *Curve) float64 {
+	return core.Distance(&core.MRC{MPKI: a.MPKI}, &core.MRC{MPKI: b.MPKI})
+}
+
+// Trace is one captured probing period.
+type Trace struct {
+	// Lines is the logged L2 access trace (cache-line addresses), after
+	// any hardware artifacts, before correction.
+	Lines []uint64
+	// Instructions is the application's progress during the capture,
+	// used to normalize the curve to MPKI.
+	Instructions uint64
+	// Cycles is the wall-clock cost of the capture in CPU cycles
+	// (Table 2 column a).
+	Cycles uint64
+	// Dropped and Stale count the hardware sampling artifacts observed.
+	Dropped, Stale int
+}
+
+// Stats describes one MRC computation.
+type Stats struct {
+	// Converted is the number of log entries rewritten by the prefetch
+	// repetition correction (Table 2 column e).
+	Converted int
+	// WarmupEntries and AutoWarmup describe the warmup policy outcome.
+	WarmupEntries int
+	AutoWarmup    bool
+	// StackHitRate is the fraction of recorded references found on the
+	// LRU stack (Table 2 column g).
+	StackHitRate float64
+	// ComputeCycles is the modeled MRC calculation cost (column b).
+	ComputeCycles uint64
+	// Shift is the v-offset applied by workflows that transpose
+	// (0 until Transpose is called).
+	Shift float64
+}
+
+// Engine computes curves from traces. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	cfg     core.Config
+	correct bool
+}
+
+// EngineOption customizes an Engine.
+type EngineOption func(*Engine)
+
+// WithStackLines overrides the LRU stack capacity (default: the L2 size
+// in lines, 15,360).
+func WithStackLines(n int) EngineOption {
+	return func(e *Engine) { e.cfg.StackLines = n }
+}
+
+// WithoutCorrection disables the prefetch-repetition rewrite, for
+// studying its effect.
+func WithoutCorrection() EngineOption {
+	return func(e *Engine) { e.correct = false }
+}
+
+// WithStaticWarmup overrides the fallback warmup fraction (default 0.5).
+func WithStaticWarmup(frac float64) EngineOption {
+	return func(e *Engine) { e.cfg.StaticWarmupFrac = frac }
+}
+
+// NewEngine returns an Engine with the paper's defaults.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{cfg: core.DefaultConfig(), correct: true}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Compute corrects the trace and runs the stack algorithm, returning the
+// raw (untransposed) curve.
+func (e *Engine) Compute(t *Trace) (*Curve, *Stats, error) {
+	if t == nil || len(t.Lines) == 0 {
+		return nil, nil, fmt.Errorf("rapidmrc: empty trace")
+	}
+	lines := make([]mem.Line, len(t.Lines))
+	for i, l := range t.Lines {
+		lines[i] = mem.Line(l)
+	}
+	converted := 0
+	if e.correct {
+		converted = core.CorrectPrefetchRepetitions(lines)
+	}
+	res, err := core.Compute(lines, t.Instructions, e.cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Curve{MPKI: res.MRC.MPKI}, &Stats{
+		Converted:     converted,
+		WarmupEntries: res.WarmupEntries,
+		AutoWarmup:    res.AutoWarmup,
+		StackHitRate:  res.StackHitRate,
+		ComputeCycles: res.ModelCycles,
+	}, nil
+}

@@ -1,0 +1,263 @@
+package rapidmrc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAppsListsAllThirty(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 30 {
+		t.Fatalf("Apps() returned %d names", len(apps))
+	}
+	if apps[0] != "jbb" {
+		t.Fatalf("first app = %q, want jbb (Table 2 order)", apps[0])
+	}
+}
+
+func TestNewSystemUnknownApp(t *testing.T) {
+	if _, err := NewSystem("no-such-app"); err == nil {
+		t.Fatal("NewSystem accepted an unknown app")
+	}
+}
+
+func TestCaptureAndCompute(t *testing.T) {
+	sys, err := NewSystem("twolf", WithSeed(3), WithTraceEntries(20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.App() != "twolf" {
+		t.Fatalf("App() = %q", sys.App())
+	}
+	sys.Run(200_000)
+	trace := sys.Capture()
+	if len(trace.Lines) != 20_000 {
+		t.Fatalf("captured %d entries", len(trace.Lines))
+	}
+	if trace.Instructions == 0 || trace.Cycles == 0 {
+		t.Fatal("capture recorded no progress")
+	}
+
+	curve, stats, err := NewEngine().Compute(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.MPKI) != Colors {
+		t.Fatalf("curve has %d points", len(curve.MPKI))
+	}
+	// Monotone non-increasing.
+	for i := 1; i < len(curve.MPKI); i++ {
+		if curve.MPKI[i] > curve.MPKI[i-1]+1e-9 {
+			t.Fatalf("curve not monotone at %d: %v", i, curve.MPKI)
+		}
+	}
+	if stats.WarmupEntries == 0 {
+		t.Error("no warmup recorded")
+	}
+	if stats.ComputeCycles == 0 {
+		t.Error("no compute cost modeled")
+	}
+}
+
+func TestEngineEmptyTrace(t *testing.T) {
+	if _, _, err := NewEngine().Compute(nil); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	if _, _, err := NewEngine().Compute(&Trace{}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestEngineOptions(t *testing.T) {
+	tr := &Trace{Instructions: 30_000}
+	for i := 0; i < 10_000; i++ {
+		tr.Lines = append(tr.Lines, uint64(i%3000))
+	}
+	// A tiny stack saturates: every point maxes out.
+	small, _, err := NewEngine(WithStackLines(960), WithStaticWarmup(0.2)).Compute(tr)
+	if err == nil {
+		// 16 points × 960 lines exceeds a 960-line stack: must error.
+		t.Fatalf("shrunken stack accepted 16 points: %v", small.MPKI)
+	}
+	// Correction toggle: a trace of pure repetitions computes differently
+	// with and without correction.
+	rep := &Trace{Instructions: 10_000}
+	for i := 0; i < 5_000; i++ {
+		rep.Lines = append(rep.Lines, 42)
+	}
+	cOn, sOn, err := NewEngine().Compute(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cOff, sOff, err := NewEngine(WithoutCorrection()).Compute(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sOn.Converted == 0 || sOff.Converted != 0 {
+		t.Fatalf("conversion counts: on=%d off=%d", sOn.Converted, sOff.Converted)
+	}
+	// Uncorrected: one line referenced repeatedly → distance 1 hits →
+	// zero MPKI everywhere. Corrected: ascending lines → cold misses.
+	if cOff.At(16) != 0 {
+		t.Errorf("uncorrected repeated line gave MPKI %v", cOff.At(16))
+	}
+	if cOn.At(16) == 0 {
+		t.Error("corrected ascending run should miss")
+	}
+}
+
+func TestCurveTransposeAndDistance(t *testing.T) {
+	c := &Curve{MPKI: []float64{10, 8, 6, 4}}
+	orig := c.Clone()
+	shift := c.Transpose(2, 20) // point at 2 colors (index 1) → 20
+	if math.Abs(shift-12) > 1e-12 {
+		t.Fatalf("shift = %v, want 12", shift)
+	}
+	if c.At(2) != 20 {
+		t.Fatalf("At(2) = %v after transpose", c.At(2))
+	}
+	if d := Distance(c, orig); math.Abs(d-12) > 1e-12 {
+		t.Fatalf("distance = %v, want 12", d)
+	}
+}
+
+func TestOnlineWorkflow(t *testing.T) {
+	curve, stats, trace, err := Online("crafty", WithSeed(2), WithTraceEntries(15_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.MPKI) != Colors {
+		t.Fatalf("curve has %d points", len(curve.MPKI))
+	}
+	if trace.Instructions == 0 {
+		t.Fatal("no capture progress")
+	}
+	// crafty is cache-insensitive: the transposed curve must be low and
+	// flat beyond 2 colors.
+	if curve.At(16) > 1.5 {
+		t.Errorf("crafty MPKI@16 = %v, want ≈0.4", curve.At(16))
+	}
+	spread := curve.At(3) - curve.At(16)
+	if spread > 1.0 {
+		t.Errorf("crafty curve not flat: spread %v", spread)
+	}
+	_ = stats
+}
+
+func TestOnlinePartitionedSystem(t *testing.T) {
+	// Running confined to 4 colors must anchor the v-offset at the
+	// 4-color point.
+	curve, _, _, err := Online("gzip", WithSeed(2), WithTraceEntries(15_000), WithPartition(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.MPKI) != Colors {
+		t.Fatal("bad curve")
+	}
+}
+
+func TestMeasureMPKIMatchesSensitivity(t *testing.T) {
+	// A cache-sensitive app measured at 1 color must miss more than at
+	// 16 colors.
+	one, err := NewSystem("art", WithSeed(5), WithPartition(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewSystem("art", WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one.Run(400_000)
+	full.Run(400_000)
+	m1 := one.MeasureMPKI(200_000)
+	m16 := full.MeasureMPKI(200_000)
+	if m1 <= m16*1.5 {
+		t.Fatalf("art MPKI@1 (%v) not well above MPKI@16 (%v)", m1, m16)
+	}
+}
+
+func TestRealCurveShape(t *testing.T) {
+	// gzip declines from its 2-color knee and flattens.
+	curve, err := RealCurve("gzip", WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.At(1) <= curve.At(16) {
+		t.Fatalf("gzip real curve not declining: %v", curve.MPKI)
+	}
+	if _, err := RealCurve("nope"); err == nil {
+		t.Fatal("RealCurve accepted unknown app")
+	}
+}
+
+func TestChoosePartitionHelpers(t *testing.T) {
+	sens := &Curve{MPKI: make([]float64, 16)}
+	insens := &Curve{MPKI: make([]float64, 16)}
+	for i := range sens.MPKI {
+		sens.MPKI[i] = 50 - 3*float64(i)
+		insens.MPKI[i] = 5
+	}
+	a, b := ChoosePartition(sens, insens, 16)
+	if a+b != 16 || a != 15 {
+		t.Fatalf("ChoosePartition = %d:%d", a, b)
+	}
+	alloc := ChoosePartitionN([]*Curve{sens, insens, insens}, 16)
+	if alloc[0]+alloc[1]+alloc[2] != 16 || alloc[0] < 12 {
+		t.Fatalf("ChoosePartitionN = %v", alloc)
+	}
+}
+
+func TestPhaseDetectorFacade(t *testing.T) {
+	d := NewPhaseDetector()
+	for i := 0; i < 10; i++ {
+		if d.Observe(5) {
+			t.Fatal("stable stream fired")
+		}
+	}
+	if !d.Observe(50) {
+		t.Fatal("step not detected")
+	}
+	if d.Transitions() != 1 {
+		t.Fatalf("transitions = %d", d.Transitions())
+	}
+	d.Reset()
+	if d.Transitions() != 0 {
+		t.Fatal("reset failed")
+	}
+
+	custom := NewPhaseDetectorWith(2, 1.0, 0.5)
+	custom.Observe(1)
+	custom.Observe(1)
+	if !custom.Observe(10) {
+		t.Fatal("custom detector missed a 9-MPKI step with threshold 1")
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	run := func() []float64 {
+		c, _, _, err := Online("vpr", WithSeed(9), WithTraceEntries(10_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.MPKI
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at point %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSimplifiedModeOption(t *testing.T) {
+	sys, err := NewSystem("mcf", WithSeed(1), WithSimplifiedMode(), WithTraceEntries(5_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(50_000)
+	trace := sys.Capture()
+	if trace.Dropped != 0 || trace.Stale != 0 {
+		t.Fatalf("simplified capture has artifacts: dropped=%d stale=%d",
+			trace.Dropped, trace.Stale)
+	}
+}
