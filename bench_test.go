@@ -131,7 +131,8 @@ func benchTrace(n int) []mem.Line {
 
 // BenchmarkStackRangeList and BenchmarkStackNaive quantify the range-list
 // optimization (DESIGN.md ablation): same trace, same capacity, the two
-// stack implementations.
+// stack implementations. BenchmarkStackRangeList exercises the production
+// (Fenwick-indexed) RangeStack.
 func BenchmarkStackRangeList(b *testing.B) {
 	trace := benchTrace(100_000)
 	b.ResetTimer()
@@ -152,6 +153,72 @@ func BenchmarkStackNaive(b *testing.B) {
 			s.Reference(l)
 		}
 	}
+}
+
+// mcfBenchTrace captures the paper's showcase input for the stack
+// ablation: a 160 k-entry corrected trace from the mcf workload at the
+// default geometry (computed once, shared by the ablation benches).
+var mcfBenchTrace []mem.Line
+
+func mcfTrace(b *testing.B) []mem.Line {
+	b.Helper()
+	if mcfBenchTrace == nil {
+		m := platform.NewMachine(workload.New(workload.MustByName("mcf"), 1),
+			platform.Options{Mode: cpu.Complex, L3Enabled: true, Seed: 1})
+		m.RunInstructions(500_000)
+		cap := m.CollectTrace(160_000)
+		core.CorrectPrefetchRepetitions(cap.Lines)
+		mcfBenchTrace = cap.Lines
+	}
+	return mcfBenchTrace
+}
+
+// BenchmarkStackAblationMcf runs the naive, walking range-list, and
+// Fenwick-indexed stacks over the same 160 k-entry mcf trace at the
+// paper's 15,360-line/64-entry geometry — the three-way ablation behind
+// the indexed-stack tentpole. The indexed variant must beat the walking
+// one by ≥ 2× on ns/ref.
+func BenchmarkStackAblationMcf(b *testing.B) {
+	trace := mcfTrace(b)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := core.NewNaiveStack(15360)
+			for _, l := range trace {
+				s.Reference(l)
+			}
+		}
+	})
+	b.Run("walk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := core.NewWalkRangeStack(15360, core.DefaultGroupSize)
+			for _, l := range trace {
+				s.Reference(l)
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := core.NewRangeStack(15360, core.DefaultGroupSize)
+			for _, l := range trace {
+				s.Reference(l)
+			}
+		}
+	})
+}
+
+// BenchmarkFig3SweepSerial/Pooled quantify the bounded worker-pool
+// runner on the Figure 3 multi-application sweep (same four-app subset
+// as BenchmarkFigure3): identical work, pool of 1 vs one worker per CPU.
+func BenchmarkFig3SweepSerial(b *testing.B) {
+	cfg := benchCfg("mcf", "twolf", "libquantum", "swim")
+	cfg.Parallel = 1
+	runExperiment(b, "fig3", cfg)
+}
+
+func BenchmarkFig3SweepPooled(b *testing.B) {
+	cfg := benchCfg("mcf", "twolf", "libquantum", "swim")
+	cfg.Parallel = 0 // one worker per CPU
+	runExperiment(b, "fig3", cfg)
 }
 
 // BenchmarkOnlineEndToEnd is the user-facing workflow: warmup, capture,

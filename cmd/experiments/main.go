@@ -22,11 +22,12 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "experiment id (see -list) or 'all'")
-		quick = flag.Bool("quick", false, "use reduced log and slice sizes")
-		seed  = flag.Int64("seed", 1, "deterministic seed")
-		apps  = flag.String("apps", "", "comma-separated application subset")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		run      = flag.String("run", "all", "experiment id (see -list) or 'all'")
+		quick    = flag.Bool("quick", false, "use reduced log and slice sizes")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		apps     = flag.String("apps", "", "comma-separated application subset")
+		parallel = flag.Int("parallel", 0, "worker pool size for sweeps (0 = one per CPU, 1 = serial)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -37,7 +38,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Parallel: *parallel}
 	if *apps != "" {
 		cfg.Apps = strings.Split(*apps, ",")
 	}

@@ -28,6 +28,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "deterministic seed")
 		simplified = flag.Bool("simplified", false, "capture in single-issue, in-order, no-prefetch mode")
 		withReal   = flag.Bool("real", false, "also measure the real MRC (16 full runs) and report the distance")
+		parallel   = flag.Int("parallel", 0, "worker pool size for the real-MRC runs (0 = one per CPU, 1 = serial)")
 		list       = flag.Bool("list", false, "list available applications")
 		save       = flag.String("save", "", "write the captured (uncorrected) trace to this file")
 		load       = flag.String("load", "", "compute from a previously saved trace instead of capturing")
@@ -91,7 +92,10 @@ func main() {
 		x[i] = float64(i + 1)
 	}
 	if *withReal {
-		realOpts := []rapidmrc.SystemOption{rapidmrc.WithSeed(*seed)}
+		realOpts := []rapidmrc.SystemOption{
+			rapidmrc.WithSeed(*seed),
+			rapidmrc.WithParallelism(*parallel),
+		}
 		real, err := rapidmrc.RealCurve(*app, realOpts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mrcgen:", err)

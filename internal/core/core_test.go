@@ -272,22 +272,49 @@ func TestTransposePreservesShape(t *testing.T) {
 		orig := m.Clone()
 		ref := int(refIdx8) % 16
 		shift := m.Transpose(ref, target)
-		if math.Abs(m.MPKI[ref]-target) > 1e-9 {
+		// The returned shift is the raw offset, unaffected by clamping.
+		if math.Abs(shift-(target-orig.MPKI[ref])) > 1e-9 {
 			return false
 		}
-		// All pairwise differences unchanged.
-		for i := 1; i < 16; i++ {
-			d0 := orig.MPKI[i] - orig.MPKI[i-1]
-			d1 := m.MPKI[i] - m.MPKI[i-1]
-			if math.Abs(d0-d1) > 1e-9 {
+		// Every point is the shifted original clamped at zero; where no
+		// clamping occurs that preserves all pairwise differences.
+		for i := range m.MPKI {
+			want := math.Max(0, orig.MPKI[i]+shift)
+			if math.Abs(m.MPKI[i]-want) > 1e-9 {
 				return false
 			}
 		}
-		_ = shift
 		return true
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestTransposeClampsAtZero is the regression test for the negative-MPKI
+// bug: a downward shift larger than a point's value used to produce
+// non-physical negative points that then fed partition.ChoosePair.
+func TestTransposeClampsAtZero(t *testing.T) {
+	m := NewMRC([]float64{10, 4, 1, 0.5})
+	shift := m.Transpose(0, 2) // shift = -8
+	if shift != -8 {
+		t.Fatalf("shift = %v, want -8", shift)
+	}
+	want := []float64{2, 0, 0, 0}
+	for i, v := range want {
+		if m.MPKI[i] != v {
+			t.Fatalf("MPKI = %v, want %v", m.MPKI, want)
+		}
+	}
+	// Upward shifts are untouched by the clamp.
+	m2 := NewMRC([]float64{3, 2, 1, 0})
+	if s := m2.Transpose(3, 5); s != 5 {
+		t.Fatalf("upward shift = %v, want 5", s)
+	}
+	for i, v := range []float64{8, 7, 6, 5} {
+		if m2.MPKI[i] != v {
+			t.Fatalf("upward MPKI = %v", m2.MPKI)
+		}
 	}
 }
 
@@ -402,6 +429,91 @@ func TestModelCyclesScaleWithDepth(t *testing.T) {
 		if r.ModelCycles < 30e6 || r.ModelCycles > 500e6 {
 			t.Errorf("model cycles %d outside plausible Table 2 range", r.ModelCycles)
 		}
+	}
+}
+
+// TestComputeWalkVsIndexedIdentical swaps the paper-era walking stack
+// into Compute and checks the resulting curve is exactly the production
+// (indexed) one — Distance exactly 0 — and that the modeled calculation
+// cost is bit-identical, pinning the cost-model decoupling.
+func TestComputeWalkVsIndexedIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	trace := make([]mem.Line, 120_000)
+	for i := range trace {
+		switch r.Intn(4) {
+		case 0:
+			trace[i] = mem.Line(r.Intn(1000))
+		case 1, 2:
+			trace[i] = mem.Line(2000 + r.Intn(12000))
+		default:
+			trace[i] = mem.Line(1_000_000 + i)
+		}
+	}
+	cfg := DefaultConfig()
+	indexed, err := Compute(trace, 360_000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func(orig func(int, int) Stack) { newStack = orig }(newStack)
+	newStack = func(capacity, groupSize int) Stack {
+		return NewWalkRangeStack(capacity, groupSize)
+	}
+	walked, err := Compute(trace, 360_000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Distance(indexed.MRC, walked.MRC); d != 0 {
+		t.Fatalf("walk vs indexed MRC distance = %v, want exactly 0", d)
+	}
+	if indexed.ModelCycles != walked.ModelCycles {
+		t.Fatalf("model cycles diverged: indexed %d walk %d",
+			indexed.ModelCycles, walked.ModelCycles)
+	}
+	if indexed.InfMisses != walked.InfMisses || indexed.StackHitRate != walked.StackHitRate {
+		t.Fatal("histogram bookkeeping diverged between stack implementations")
+	}
+}
+
+// TestComputeBandBoundaries pins the suffix-sum indexing of the MRC
+// assembly: point p (0-based) must equal Miss(hi) with hi =
+// (p+1)×LinesPerPoint, where Miss(s) counts recorded references with
+// stack distance > s plus the infinite misses. The expected values are
+// recomputed from the histogram by the direct definition.
+func TestComputeBandBoundaries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FixedWarmupEntries = 0
+	r := rand.New(rand.NewSource(9))
+	trace := make([]mem.Line, 50_000)
+	for i := range trace {
+		// Spread distances across all bands, with some cold misses.
+		if r.Intn(10) == 0 {
+			trace[i] = mem.Line(500_000 + i)
+		} else {
+			trace[i] = mem.Line(r.Intn(16_000))
+		}
+	}
+	instr := uint64(150_000)
+	res, err := Compute(trace, instr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < cfg.Points; p++ {
+		hi := (p + 1) * cfg.LinesPerPoint
+		miss := res.InfMisses
+		for d := hi + 1; d <= cfg.StackLines; d++ {
+			miss += res.Hist[d]
+		}
+		want := 1000 * float64(miss) / float64(res.Instructions)
+		if math.Abs(res.MRC.MPKI[p]-want) > 1e-9 {
+			t.Fatalf("point %d (hi=%d): MPKI %v, want Miss(hi) %v",
+				p, hi, res.MRC.MPKI[p], want)
+		}
+	}
+	// Boundary sanity: a reference at distance exactly hi is a hit for
+	// size hi, so it must not be in point p's miss count but must be in
+	// point p-1's.
+	if res.MRC.MPKI[0] < res.MRC.MPKI[1] {
+		t.Fatal("band absorption went the wrong way")
 	}
 }
 

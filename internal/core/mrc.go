@@ -88,11 +88,17 @@ func (m *MRC) At(colors int) float64 { return m.MPKI[colors-1] }
 // Transpose vertically shifts the whole curve so that point refIdx
 // (0-based) equals target — the v-offset correction of §3.2, which uses
 // the measured miss rate of the currently configured partition size. It
-// returns the shift applied. The shift is uniform, preserving shape.
+// returns the shift applied. The shift is uniform, preserving shape,
+// except that points the shift would push below zero are clamped at 0:
+// a negative MPKI is non-physical and would corrupt downstream consumers
+// (partition.ChoosePair sums curve points when sizing splits).
 func (m *MRC) Transpose(refIdx int, target float64) float64 {
 	shift := target - m.MPKI[refIdx]
 	for i := range m.MPKI {
 		m.MPKI[i] += shift
+		if m.MPKI[i] < 0 {
+			m.MPKI[i] = 0
+		}
 	}
 	return shift
 }
@@ -137,6 +143,14 @@ type Result struct {
 	ModelCycles uint64
 }
 
+// newStack builds the stack Compute simulates with. It is a package
+// variable so the equivalence test can swap in the paper-era walking
+// variant and pin that both stacks produce identical curves and modeled
+// cycle counts.
+var newStack = func(capacity, groupSize int) Stack {
+	return NewRangeStack(capacity, groupSize)
+}
+
 // Compute runs Mattson's algorithm over a corrected trace log and builds
 // the MRC. instructions is the application progress during the probing
 // period (used for MPKI normalization, prorated to the recorded portion).
@@ -148,7 +162,7 @@ func Compute(trace []mem.Line, instructions uint64, cfg Config) (*Result, error)
 		return nil, fmt.Errorf("core: empty trace log")
 	}
 
-	stack := NewRangeStack(cfg.StackLines, cfg.GroupSize)
+	stack := newStack(cfg.StackLines, cfg.GroupSize)
 	hist := make([]uint64, cfg.StackLines+1)
 	var inf, hits uint64
 
@@ -211,10 +225,8 @@ func Compute(trace []mem.Line, instructions uint64, cfg Config) (*Result, error)
 	}
 	for p := cfg.Points - 1; p >= 0; p-- {
 		hi := (p + 1) * cfg.LinesPerPoint
-		lo := p*cfg.LinesPerPoint + 1
-		_ = lo
 		// misses currently holds Miss(hi); record it, then absorb the
-		// band (lo..hi] for the next (smaller) point.
+		// band (hi-LinesPerPoint..hi] for the next (smaller) point.
 		mpki[p] = 1000 * float64(misses) / float64(instrEff)
 		for d := hi; d > hi-cfg.LinesPerPoint; d-- {
 			misses += hist[d]

@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"testing"
+	"testing/quick"
 
 	"rapidmrc/internal/mem"
 )
@@ -85,6 +86,66 @@ func TestRangeStackExactCapacityCycle(t *testing.T) {
 				t.Fatalf("over-capacity cycle hit: pass %d line %d dist %d", pass, i, d)
 			}
 		}
+	}
+}
+
+// TestIndexedStackMatchesWalkStack property-tests the production
+// Fenwick-indexed stack against the paper-era walking range list: on
+// random traces — including eviction churn at capacity and group
+// split/merge boundaries — distances, occupancy, AND the modeled walk
+// counts must be bit-identical, so the DESIGN.md §5 cost model stays
+// calibrated.
+func TestIndexedStackMatchesWalkStack(t *testing.T) {
+	f := func(seed int64, cap16 uint16, gs8 uint8, footprint16 uint16) bool {
+		capacity := int(cap16%300) + 2
+		groupSize := int(gs8%16) + 2
+		// Footprint up to 2× capacity: constant eviction churn.
+		footprint := int(footprint16)%(2*capacity) + 1
+		r := rand.New(rand.NewSource(seed))
+		walk := NewWalkRangeStack(capacity, groupSize)
+		idx := NewRangeStack(capacity, groupSize)
+		for i := 0; i < 4000; i++ {
+			line := mem.Line(r.Intn(footprint))
+			dw := walk.Reference(line)
+			di := idx.Reference(line)
+			if dw != di {
+				t.Logf("seed=%d cap=%d gs=%d fp=%d: ref %d line %d: walk %d indexed %d",
+					seed, capacity, groupSize, footprint, i, line, dw, di)
+				return false
+			}
+			if walk.Len() != idx.Len() || walk.Full() != idx.Full() {
+				return false
+			}
+			if walk.Walks() != idx.Walks() {
+				t.Logf("seed=%d ref %d: walks diverged: walk %d indexed %d",
+					seed, i, walk.Walks(), idx.Walks())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIndexedStackEvictionChurn drives the indexed stack at exact
+// capacity through a footprint slightly larger than capacity, the regime
+// where every reference both hits the eviction path and perturbs group
+// boundaries.
+func TestIndexedStackEvictionChurn(t *testing.T) {
+	const capacity = 128
+	idx := NewRangeStack(capacity, 4)
+	naive := NewNaiveStack(capacity)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20_000; i++ {
+		l := mem.Line(r.Intn(capacity + capacity/8))
+		if di, dn := idx.Reference(l), naive.Reference(l); di != dn {
+			t.Fatalf("divergence at op %d: indexed %d naive %d", i, di, dn)
+		}
+	}
+	if idx.Len() != capacity || !idx.Full() {
+		t.Fatalf("len = %d after churn", idx.Len())
 	}
 }
 

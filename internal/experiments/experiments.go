@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -17,6 +18,7 @@ import (
 	"rapidmrc/internal/cpu"
 	"rapidmrc/internal/mem"
 	"rapidmrc/internal/platform"
+	"rapidmrc/internal/runner"
 	"rapidmrc/internal/workload"
 )
 
@@ -30,6 +32,10 @@ type Config struct {
 	// Apps restricts per-application experiments to a subset (nil = all
 	// 30 in Table 2 order).
 	Apps []string
+	// Parallel bounds the worker pools the drivers sweep on (per-app
+	// evaluations, per-size real-MRC runs): 0 means one worker per CPU,
+	// 1 runs serially.
+	Parallel int
 }
 
 // DefaultConfig returns the full-fidelity configuration.
@@ -51,6 +57,7 @@ func (c Config) realCfg(mode cpu.Mode) platform.RealMRCConfig {
 	rc := platform.DefaultRealMRCConfig()
 	rc.Mode = mode
 	rc.Seed = c.Seed
+	rc.Workers = c.Parallel
 	if c.Quick {
 		rc.SkipInstructions = 600_000
 		rc.SliceInstructions = 300_000
@@ -197,27 +204,18 @@ func EvalApp(name string, cfg Config) (*AppEval, error) {
 	return ev, nil
 }
 
-// EvalApps evaluates a set of applications concurrently, preserving
-// order.
+// EvalApps evaluates a set of applications on the bounded worker pool,
+// preserving order. The first failing evaluation cancels the remaining
+// (unstarted) ones.
 func EvalApps(names []string, cfg Config) ([]*AppEval, error) {
 	out := make([]*AppEval, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 4) // each eval already fans out internally
-	for i, n := range names {
-		wg.Add(1)
-		go func(i int, n string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = EvalApp(n, cfg)
-		}(i, n)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err := runner.ForEach(context.Background(), cfg.Parallel, len(names), func(i int) error {
+		ev, err := EvalApp(names[i], cfg)
+		out[i] = ev
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

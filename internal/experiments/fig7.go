@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"rapidmrc/internal/color"
 	"rapidmrc/internal/core"
@@ -11,6 +10,7 @@ import (
 	"rapidmrc/internal/partition"
 	"rapidmrc/internal/platform"
 	"rapidmrc/internal/report"
+	"rapidmrc/internal/runner"
 	"rapidmrc/internal/workload"
 )
 
@@ -109,27 +109,22 @@ func figure7One(w io.Writer, wl Fig7Workload, cfg Config) (*Fig7Result, error) {
 		uncontrolled[i] = color.All
 	}
 
+	// Task 0 is the uncontrolled baseline; tasks 1..15 sweep the split.
 	spectrum := make([][]platform.Metrics, 15)
 	var base []platform.Metrics
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		base = run(uncontrolled)
-	}()
-	for x := 1; x <= 15; x++ {
-		wg.Add(1)
-		go func(x int) {
-			defer wg.Done()
-			parts := make([]color.Set, len(apps))
-			parts[0] = color.First(x)
-			for i := 1; i < len(apps); i++ {
-				parts[i] = color.Range(x, color.NumColors)
-			}
-			spectrum[x-1] = run(parts)
-		}(x)
-	}
-	wg.Wait()
+	runner.All(cfg.Parallel, 16, func(task int) {
+		if task == 0 {
+			base = run(uncontrolled)
+			return
+		}
+		x := task
+		parts := make([]color.Set, len(apps))
+		parts[0] = color.First(x)
+		for i := 1; i < len(apps); i++ {
+			parts[i] = color.Range(x, color.NumColors)
+		}
+		spectrum[x-1] = run(parts)
+	})
 
 	normA := make([]float64, 15)
 	normB := make([]float64, 15)

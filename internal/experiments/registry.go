@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
+
+	"rapidmrc/internal/runner"
 )
 
 // Runner is one experiment driver; it writes its report to w.
@@ -55,13 +59,36 @@ func Run(id string, w io.Writer, cfg Config) error {
 	return r(w, cfg)
 }
 
-// RunAll executes every experiment in a stable order.
+// RunAll executes every experiment, writing reports in stable id order.
+// The experiments themselves run on the bounded worker pool
+// (cfg.Parallel workers; 0 = one per CPU) with each report buffered so
+// concurrent drivers never interleave output; an error in any driver
+// cancels the unstarted remainder.
 func RunAll(w io.Writer, cfg Config) error {
-	for _, id := range Names() {
+	return RunAllContext(context.Background(), w, cfg)
+}
+
+// RunAllContext is RunAll with cancellation: a cancelled ctx stops
+// scheduling new experiments.
+func RunAllContext(ctx context.Context, w io.Writer, cfg Config) error {
+	ids := Names()
+	bufs := make([]bytes.Buffer, len(ids))
+	err := runner.ForEach(ctx, cfg.Parallel, len(ids), func(i int) error {
+		if err := Run(ids[i], &bufs[i], cfg); err != nil {
+			return fmt.Errorf("%s: %w", ids[i], err)
+		}
+		return nil
+	})
+	// Flush what completed, in order, even on error: partial sweeps are
+	// still useful and the failure is reported after them.
+	for i, id := range ids {
+		if bufs[i].Len() == 0 {
+			continue
+		}
 		fmt.Fprintf(w, "\n================= %s =================\n\n", id)
-		if err := Run(id, w, cfg); err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+		if _, werr := w.Write(bufs[i].Bytes()); werr != nil {
+			return werr
 		}
 	}
-	return nil
+	return err
 }

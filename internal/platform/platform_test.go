@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
@@ -182,7 +183,7 @@ func TestRealMRCMonotoneForChase(t *testing.T) {
 	cfg := RealMRCConfig{
 		Mode: cpu.Simplified, L3Enabled: false,
 		SkipInstructions: 20_000, SliceInstructions: 60_000,
-		MaxColors: 16, Seed: 1, Parallel: true,
+		MaxColors: 16, Seed: 1,
 	}
 	mrc := RealMRC(app, cfg)
 	if len(mrc) != 16 {
@@ -196,6 +197,65 @@ func TestRealMRCMonotoneForChase(t *testing.T) {
 	}
 	if mrc[7] > mrc[0]/3 {
 		t.Errorf("knee not visible: mrc[7]=%v vs mrc[0]=%v", mrc[7], mrc[0])
+	}
+}
+
+// TestRealMRCPooledMatchesSerial checks that the worker pool does not
+// change results: each per-size run is independently seeded, so serial
+// and pooled sweeps must agree exactly.
+func TestRealMRCPooledMatchesSerial(t *testing.T) {
+	app := loopApp("c3000", workload.Chase, 3000)
+	cfg := RealMRCConfig{
+		Mode: cpu.Simplified, L3Enabled: false,
+		SkipInstructions: 10_000, SliceInstructions: 30_000,
+		MaxColors: 16, Seed: 1,
+	}
+	serial := cfg
+	serial.Workers = 1
+	pooled := cfg
+	pooled.Workers = 3
+	a, b := RealMRC(app, serial), RealMRC(app, pooled)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("color %d: serial %v pooled %v", i+1, a[i], b[i])
+		}
+	}
+}
+
+// TestRealMRCGoroutinesBoundedByPool is the acceptance check that the
+// sweep's live goroutines are bounded by the pool size, not MaxColors:
+// with Workers=2 and 16 sizes, the process must never be ~16 goroutines
+// above its baseline while the sweep runs.
+func TestRealMRCGoroutinesBoundedByPool(t *testing.T) {
+	app := loopApp("c2000", workload.Chase, 2000)
+	cfg := RealMRCConfig{
+		Mode: cpu.Simplified, L3Enabled: false,
+		SkipInstructions: 10_000, SliceInstructions: 40_000,
+		MaxColors: 16, Seed: 1, Workers: 2,
+	}
+	base := runtime.NumGoroutine()
+	done := make(chan []float64, 1)
+	go func() { done <- RealMRC(app, cfg) }()
+	peak := 0
+	for {
+		select {
+		case mrc := <-done:
+			if len(mrc) != 16 {
+				t.Fatalf("MRC has %d points", len(mrc))
+			}
+			// launcher goroutine + 2 pool workers, with slack for test
+			// runtime goroutines; the old fan-out peaked at base+17.
+			if limit := base + cfg.Workers + 4; peak > limit {
+				t.Fatalf("goroutine peak %d (baseline %d) exceeds pool bound %d",
+					peak, base, limit)
+			}
+			return
+		default:
+			if n := runtime.NumGoroutine(); n > peak {
+				peak = n
+			}
+			runtime.Gosched()
+		}
 	}
 }
 

@@ -1,10 +1,9 @@
 package platform
 
 import (
-	"sync"
-
 	"rapidmrc/internal/color"
 	"rapidmrc/internal/cpu"
+	"rapidmrc/internal/runner"
 	"rapidmrc/internal/workload"
 )
 
@@ -27,8 +26,11 @@ type RealMRCConfig struct {
 	MaxColors int
 	// Seed seeds each run identically so all sizes see the same stream.
 	Seed int64
-	// Parallel runs the per-size simulations on separate goroutines.
-	Parallel bool
+	// Workers bounds the worker pool running the per-size simulations:
+	// 0 means one worker per CPU (runtime.GOMAXPROCS), 1 runs serially,
+	// n > 1 uses a pool of n. Goroutine count is bounded by the pool
+	// size, never by MaxColors.
+	Workers int
 }
 
 // DefaultRealMRCConfig returns the settings used throughout the
@@ -42,7 +44,6 @@ func DefaultRealMRCConfig() RealMRCConfig {
 		SliceInstructions: 1_000_000,
 		MaxColors:         color.NumColors,
 		Seed:              1,
-		Parallel:          true,
 	}
 }
 
@@ -54,7 +55,7 @@ func RealMRC(app workload.Config, cfg RealMRCConfig) []float64 {
 		cfg.MaxColors = color.NumColors
 	}
 	mpki := make([]float64, cfg.MaxColors)
-	run := func(k int) {
+	runner.All(cfg.Workers, cfg.MaxColors, func(k int) {
 		m := NewMachine(workload.New(app, cfg.Seed), Options{
 			Mode:      cfg.Mode,
 			Colors:    color.First(k + 1),
@@ -67,22 +68,7 @@ func RealMRC(app workload.Config, cfg RealMRCConfig) []float64 {
 		m.ResetMetrics()
 		m.RunInstructions(cfg.SliceInstructions)
 		mpki[k] = m.Metrics().MPKI()
-	}
-	if cfg.Parallel {
-		var wg sync.WaitGroup
-		for k := 0; k < cfg.MaxColors; k++ {
-			wg.Add(1)
-			go func(k int) {
-				defer wg.Done()
-				run(k)
-			}(k)
-		}
-		wg.Wait()
-	} else {
-		for k := 0; k < cfg.MaxColors; k++ {
-			run(k)
-		}
-	}
+	})
 	return mpki
 }
 
@@ -124,21 +110,15 @@ func IntervalMetrics(app workload.Config, colors int, intervals int, intervalIns
 	return out
 }
 
-// MissRateTimelines measures timelines for every partition size in
-// parallel (Figure 2a plots all 16).
+// MissRateTimelines measures timelines for every partition size on the
+// bounded pool (Figure 2a plots all 16).
 func MissRateTimelines(app workload.Config, intervals int, intervalInstr uint64, cfg RealMRCConfig) [][]float64 {
 	if cfg.MaxColors == 0 {
 		cfg.MaxColors = color.NumColors
 	}
 	out := make([][]float64, cfg.MaxColors)
-	var wg sync.WaitGroup
-	for k := 1; k <= cfg.MaxColors; k++ {
-		wg.Add(1)
-		go func(k int) {
-			defer wg.Done()
-			out[k-1] = MissRateTimeline(app, k, intervals, intervalInstr, cfg)
-		}(k)
-	}
-	wg.Wait()
+	runner.All(cfg.Workers, cfg.MaxColors, func(i int) {
+		out[i] = MissRateTimeline(app, i+1, intervals, intervalInstr, cfg)
+	})
 	return out
 }

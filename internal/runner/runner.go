@@ -1,0 +1,98 @@
+// Package runner provides the bounded worker pool every parallel sweep
+// in this module runs on: real-MRC measurements (16 runs per app),
+// miss-rate timelines, the 30-application experiment drivers, and the
+// partition spectra. The previous fan-out spawned one goroutine per
+// work item (MaxColors × apps during a Table 2 regeneration), which
+// oversubscribes the scheduler and makes memory high-water marks scale
+// with the sweep size; the pool bounds live goroutines by the worker
+// count instead.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism request: n > 0 is used as given, and
+// anything else (0, negative) means "one worker per available CPU",
+// i.e. runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, tasks) on at most
+// Workers(workers) concurrent goroutines. It blocks until all started
+// work finishes. The first error cancels the remaining (unstarted)
+// tasks and is returned; ctx cancellation does the same, returning
+// ctx.Err(). In-flight fn calls are not interrupted — fn can watch ctx
+// itself if it wants finer-grained cancellation.
+func ForEach(ctx context.Context, workers, tasks int, fn func(i int) error) error {
+	if tasks <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers == 1 {
+		for i := 0; i < tasks; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= tasks {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// All is ForEach with no error plumbing, for sweeps whose work cannot
+// fail: it runs fn(i) for every i in [0, tasks) on at most
+// Workers(workers) goroutines and waits for completion.
+func All(workers, tasks int, fn func(i int)) {
+	ForEach(context.Background(), workers, tasks, func(i int) error {
+		fn(i)
+		return nil
+	})
+}

@@ -1,0 +1,145 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-5) = %d", got)
+	}
+}
+
+// TestForEachBoundsConcurrency is the acceptance check for the pool:
+// with far more tasks than workers, the number of simultaneously
+// running fn calls never exceeds the worker count.
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers, tasks = 4, 200
+	var inFlight, peak atomic.Int64
+	err := ForEach(context.Background(), workers, tasks, func(i int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", p, workers)
+	}
+}
+
+func TestForEachRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const tasks = 150
+		seen := make([]atomic.Int32, tasks)
+		if err := ForEach(context.Background(), workers, tasks, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range seen {
+			if n := seen[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachFirstErrorWinsAndStops(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 2, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("error did not stop the sweep: %d tasks ran", n)
+	}
+}
+
+func TestForEachContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEach(ctx, 2, 1_000_000, func(i int) error {
+			ran.Add(1)
+			time.Sleep(50 * time.Microsecond)
+			return nil
+		})
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not stop the sweep")
+	}
+	if ran.Load() >= 1_000_000 {
+		t.Fatal("cancellation ran every task anyway")
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(i int) error {
+		t.Fatal("fn called for zero tasks")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachSerialPathHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int
+	err := ForEach(ctx, 1, 100, func(i int) error {
+		ran++
+		if i == 4 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 5 {
+		t.Fatalf("serial path ran %d tasks after cancel at 5", ran)
+	}
+}
+
+func TestAllCompletes(t *testing.T) {
+	var sum atomic.Int64
+	All(3, 100, func(i int) { sum.Add(int64(i)) })
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}

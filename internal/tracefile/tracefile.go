@@ -7,7 +7,9 @@
 //
 //	magic   "RMRC"            4 bytes
 //	version uint16            currently 1
-//	flags   uint16            reserved, zero
+//	flags   uint16            reserved, must be zero (readers reject
+//	                          nonzero values rather than silently
+//	                          misinterpreting future extensions)
 //	instructions uint64       application progress during capture
 //	cycles       uint64       capture cost in cycles
 //	count        uint64       number of entries
@@ -90,6 +92,9 @@ func Read(r io.Reader) (*Trace, error) {
 	if v := binary.LittleEndian.Uint16(head[0:]); v != Version {
 		return nil, fmt.Errorf("tracefile: unsupported version %d", v)
 	}
+	if f := binary.LittleEndian.Uint16(head[2:]); f != 0 {
+		return nil, fmt.Errorf("tracefile: nonzero reserved flags %#x", f)
+	}
 	t := &Trace{
 		Instructions: binary.LittleEndian.Uint64(head[4:]),
 		Cycles:       binary.LittleEndian.Uint64(head[12:]),
@@ -99,15 +104,21 @@ func Read(r io.Reader) (*Trace, error) {
 	if count > maxEntries {
 		return nil, fmt.Errorf("tracefile: implausible entry count %d", count)
 	}
-	t.Lines = make([]mem.Line, count)
+	// The count is attacker/corruption-controlled: start from a bounded
+	// chunk and grow as entries actually decode, so a huge count on a
+	// tiny (truncated) input fails fast instead of preallocating up to
+	// 8 GB before reading a single entry. Allocation stays proportional
+	// to the bytes really present in the input.
+	const chunk = 1 << 16
+	t.Lines = make([]mem.Line, 0, min(count, chunk))
 	prev := uint64(0)
-	for i := range t.Lines {
+	for i := uint64(0); i < count; i++ {
 		zz, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("tracefile: entry %d: %w", i, err)
 		}
 		prev += uint64(unzigzag(zz))
-		t.Lines[i] = mem.Line(prev)
+		t.Lines = append(t.Lines, mem.Line(prev))
 	}
 	return t, nil
 }

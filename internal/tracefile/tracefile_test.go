@@ -3,6 +3,7 @@ package tracefile
 import (
 	"bytes"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -150,6 +151,45 @@ func TestReadRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Read(bytes.NewReader(b3)); err == nil {
 		t.Error("implausible count accepted")
+	}
+}
+
+func TestReadRejectsNonzeroFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Trace{Lines: []mem.Line{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[6] = 1 // reserved flags field
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Fatal("nonzero reserved flags accepted")
+	}
+}
+
+// TestReadHugeCountDoesNotPreallocate is the regression test for the
+// headline-count allocation bug: a header claiming ~0.5 Gi entries over
+// an empty body must fail fast on the missing entries, not allocate
+// gigabytes up front. The allocation bound is checked directly.
+func TestReadHugeCountDoesNotPreallocate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Trace{}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Patch count to 1<<29 (within the maxEntries cap, 4 GB decoded).
+	for i := 24; i < 32; i++ {
+		b[i] = 0
+	}
+	b[27] = 0x20
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	_, err := Read(bytes.NewReader(b))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("truncated huge-count trace accepted")
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 16<<20 {
+		t.Fatalf("reading a truncated huge-count header allocated %d bytes", grew)
 	}
 }
 

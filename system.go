@@ -26,6 +26,7 @@ type sysOptions struct {
 	entries     int
 	refColors   int
 	traceBuffer int
+	workers     int
 }
 
 // SystemOption customizes a System or a workflow built on one.
@@ -63,6 +64,13 @@ func WithoutL3() SystemOption {
 // Figure 4a uses 1600k for swim).
 func WithTraceEntries(n int) SystemOption {
 	return func(o *sysOptions) { o.entries = n }
+}
+
+// WithParallelism bounds the worker pool used by sweeping workflows
+// (RealCurve's 16 per-size runs): 0 (the default) uses one worker per
+// CPU, 1 runs serially, n > 1 uses a pool of n goroutines.
+func WithParallelism(n int) SystemOption {
+	return func(o *sysOptions) { o.workers = n }
 }
 
 // WithReferencePoint overrides the partition size whose measured miss
@@ -160,6 +168,7 @@ func RealCurve(app string, opts ...SystemOption) (*Curve, error) {
 	rc.Mode = o.mode
 	rc.L3Enabled = o.l3
 	rc.Seed = o.seed
+	rc.Workers = o.workers
 	return &Curve{MPKI: platform.RealMRC(cfg, rc)}, nil
 }
 
