@@ -11,6 +11,7 @@ package rapidmrc
 // the capture/compute halves of the pipeline in isolation.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -155,22 +156,36 @@ func BenchmarkStackNaive(b *testing.B) {
 	}
 }
 
-// mcfBenchTrace captures the paper's showcase input for the stack
-// ablation: a 160 k-entry corrected trace from the mcf workload at the
-// default geometry (computed once, shared by the ablation benches).
-var mcfBenchTrace []mem.Line
+// mcfBenchTraces caches corrected mcf probing periods by length for the
+// ablation and stream-vs-batch benches (each captured once, shared), with
+// the capture's instruction count for MPKI normalization.
+var mcfBenchTraces = map[int]struct {
+	lines []mem.Line
+	instr uint64
+}{}
 
-func mcfTrace(b *testing.B) []mem.Line {
+func mcfTraceN(b *testing.B, n int) ([]mem.Line, uint64) {
 	b.Helper()
-	if mcfBenchTrace == nil {
-		m := platform.NewMachine(workload.New(workload.MustByName("mcf"), 1),
-			platform.Options{Mode: cpu.Complex, L3Enabled: true, Seed: 1})
-		m.RunInstructions(500_000)
-		cap := m.CollectTrace(160_000)
-		core.CorrectPrefetchRepetitions(cap.Lines)
-		mcfBenchTrace = cap.Lines
+	if c, ok := mcfBenchTraces[n]; ok {
+		return c.lines, c.instr
 	}
-	return mcfBenchTrace
+	m := platform.NewMachine(workload.New(workload.MustByName("mcf"), 1),
+		platform.Options{Mode: cpu.Complex, L3Enabled: true, Seed: 1})
+	m.RunInstructions(500_000)
+	cap := m.CollectTrace(n)
+	core.CorrectPrefetchRepetitions(cap.Lines)
+	mcfBenchTraces[n] = struct {
+		lines []mem.Line
+		instr uint64
+	}{cap.Lines, cap.Stats.Instructions}
+	return cap.Lines, cap.Stats.Instructions
+}
+
+// mcfTrace returns the paper's showcase input: the 160 k-entry corrected
+// mcf trace at the default geometry.
+func mcfTrace(b *testing.B) []mem.Line {
+	lines, _ := mcfTraceN(b, 160_000)
+	return lines
 }
 
 // BenchmarkStackAblationMcf runs the naive, walking range-list, and
@@ -204,6 +219,45 @@ func BenchmarkStackAblationMcf(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkStreamVsBatch compares the two halves of the equivalence the
+// streaming tentpole pins: the batch core.Compute over a whole resident
+// trace against the StreamEngine fed one reference at a time, on the
+// paper's 160 k mcf probing period and the Figure 4a-scale 1600 k one.
+// Both arms consume the identical corrected trace; ns/ref is the metric
+// the 1.5× acceptance bound reads, and allocs/op shows the stream's
+// O(stack) footprint against batch's O(entries) input.
+func BenchmarkStreamVsBatch(b *testing.B) {
+	for _, n := range []int{160_000, 1_600_000} {
+		trace, instr := mcfTraceN(b, n)
+		name := fmt.Sprintf("%dk", n/1000)
+		b.Run("batch/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compute(trace, instr, core.DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(trace)), "ns/ref")
+		})
+		b.Run("stream/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e, err := core.NewStreamEngine(core.DefaultConfig(), len(trace))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, l := range trace {
+					e.Feed(l)
+				}
+				if _, err := e.Snapshot(instr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(trace)), "ns/ref")
+		})
+	}
 }
 
 // BenchmarkFig3SweepSerial/Pooled quantify the bounded worker-pool

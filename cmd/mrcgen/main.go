@@ -6,6 +6,7 @@
 // Usage:
 //
 //	mrcgen -app mcf
+//	mrcgen -app mcf -stream -epoch 20000
 //	mrcgen -app swim -entries 1600000 -real
 //	mrcgen -list
 package main
@@ -13,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rapidmrc"
@@ -32,6 +34,8 @@ func main() {
 		list       = flag.Bool("list", false, "list available applications")
 		save       = flag.String("save", "", "write the captured (uncorrected) trace to this file")
 		load       = flag.String("load", "", "compute from a previously saved trace instead of capturing")
+		stream     = flag.Bool("stream", false, "fuse capture and compute: samples flow straight into the incremental engine, no trace log is materialized")
+		epoch      = flag.Int("epoch", 0, "with -stream, print a mid-capture curve snapshot every N entries (0 = none)")
 	)
 	flag.Parse()
 
@@ -50,18 +54,28 @@ func main() {
 		opts = append(opts, rapidmrc.WithSimplifiedMode())
 	}
 
+	if *stream && *save != "" {
+		fmt.Fprintln(os.Stderr, "mrcgen: -save needs the buffered capture path; -stream never materializes a trace")
+		os.Exit(1)
+	}
+
 	var (
 		curve *rapidmrc.Curve
 		stats *rapidmrc.Stats
 		trace *rapidmrc.Trace
 		err   error
 	)
-	if *load != "" {
+	switch {
+	case *stream && *load != "":
+		curve, stats, err = streamFromFile(*load, *epoch)
+	case *stream:
+		curve, stats, err = streamOnline(*app, *epoch, opts)
+	case *load != "":
 		trace, err = loadTrace(*load)
 		if err == nil {
 			curve, stats, err = rapidmrc.NewEngine().Compute(trace)
 		}
-	} else {
+	default:
 		curve, stats, trace, err = rapidmrc.Online(*app, opts...)
 	}
 	if err != nil {
@@ -80,9 +94,14 @@ func main() {
 	if *load != "" {
 		source = *load
 	}
-	fmt.Printf("RapidMRC for %s (%d-entry log)\n", source, len(trace.Lines))
-	fmt.Printf("capture: %d instr, %d Mcycles, %d dropped, %d stale\n",
-		trace.Instructions, trace.Cycles/1e6, trace.Dropped, trace.Stale)
+	if *stream {
+		fmt.Printf("RapidMRC for %s (streamed, %d-entry log, no trace buffered)\n", source, stats.Captured)
+		fmt.Printf("capture: %d dropped, %d stale\n", stats.Dropped, stats.Stale)
+	} else {
+		fmt.Printf("RapidMRC for %s (%d-entry log)\n", source, len(trace.Lines))
+		fmt.Printf("capture: %d instr, %d Mcycles, %d dropped, %d stale\n",
+			trace.Instructions, trace.Cycles/1e6, trace.Dropped, trace.Stale)
+	}
 	fmt.Printf("compute: %d Mcycles, warmup %d entries (auto=%v), stack hit rate %.0f%%, %d entries converted\n",
 		stats.ComputeCycles/1e6, stats.WarmupEntries, stats.AutoWarmup,
 		100*stats.StackHitRate, stats.Converted)
@@ -114,6 +133,66 @@ func main() {
 	fmt.Println()
 	fmt.Print(report.Series("colors", x, []string{"MPKI"}, [][]float64{curve.MPKI}))
 	fmt.Print(report.Plot(*app, []string{"MPKI"}, [][]float64{curve.MPKI}, 48, 12))
+}
+
+// printEpoch renders one mid-capture snapshot line.
+func printEpoch(entries int, c *rapidmrc.Curve) {
+	fmt.Printf("epoch %8d entries: MPKI %6.1f @1, %6.1f @8, %6.1f @16\n",
+		entries, c.At(1), c.At(8), c.At(16))
+}
+
+// streamOnline is Online with the capture and computation fused: warm up,
+// then stream one probing period straight through the incremental engine.
+func streamOnline(app string, epoch int, opts []rapidmrc.SystemOption) (*rapidmrc.Curve, *rapidmrc.Stats, error) {
+	sys, err := rapidmrc.NewSystem(app, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys.Run(500_000)
+	return sys.Stream(epoch, func(e rapidmrc.StreamEpoch) {
+		printEpoch(e.Entries, e.Curve)
+	})
+}
+
+// streamFromFile replays an archived trace through the streaming engine
+// one entry at a time — the whole log is never resident.
+func streamFromFile(path string, epoch int) (*rapidmrc.Curve, *rapidmrc.Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	r, err := tracefile.NewReader(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := rapidmrc.NewEngine().NewStream(r.Len())
+	if err != nil {
+		return nil, nil, err
+	}
+	for {
+		l, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		st.Feed(uint64(l))
+		if epoch > 0 && st.Entries()%epoch == 0 && !st.Warming() {
+			// Prorate the archived progress to the entries fed so far.
+			instr := r.Instructions() * uint64(st.Entries()) / uint64(r.Len())
+			if c, _, err := st.Snapshot(instr); err == nil {
+				printEpoch(st.Entries(), c)
+			}
+		}
+	}
+	curve, stats, err := st.Snapshot(r.Instructions())
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Captured = st.Entries()
+	return curve, stats, nil
 }
 
 // saveTrace serializes the raw captured trace.

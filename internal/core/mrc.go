@@ -151,6 +151,40 @@ var newStack = func(capacity, groupSize int) Stack {
 	return NewRangeStack(capacity, groupSize)
 }
 
+// effectiveInstructions prorates the application progress over the whole
+// log to the recorded (post-warmup) portion, for MPKI normalization.
+func effectiveInstructions(instructions uint64, recorded, consumed int) uint64 {
+	eff := uint64(float64(instructions) * float64(recorded) / float64(consumed))
+	if eff == 0 {
+		eff = 1
+	}
+	return eff
+}
+
+// curveFromHist integrates a stack-distance histogram into the MRC:
+// Miss(size) = references with distance > size, plus infinite, normalized
+// to MPKI. Shared by the batch Compute and the StreamEngine snapshots so
+// the two paths are identical by construction at this stage.
+func curveFromHist(hist []uint64, inf, instrEff uint64, cfg Config) []float64 {
+	mpki := make([]float64, cfg.Points)
+	// Suffix sums over the histogram, evaluated at each point boundary.
+	misses := inf
+	bound := cfg.Points * cfg.LinesPerPoint
+	for d := cfg.StackLines; d > bound; d-- {
+		misses += hist[d]
+	}
+	for p := cfg.Points - 1; p >= 0; p-- {
+		hi := (p + 1) * cfg.LinesPerPoint
+		// misses currently holds Miss(hi); record it, then absorb the
+		// band (hi-LinesPerPoint..hi] for the next (smaller) point.
+		mpki[p] = 1000 * float64(misses) / float64(instrEff)
+		for d := hi; d > hi-cfg.LinesPerPoint; d-- {
+			misses += hist[d]
+		}
+	}
+	return mpki
+}
+
 // Compute runs Mattson's algorithm over a corrected trace log and builds
 // the MRC. instructions is the application progress during the probing
 // period (used for MPKI normalization, prorated to the recorded portion).
@@ -210,28 +244,8 @@ func Compute(trace []mem.Line, instructions uint64, cfg Config) (*Result, error)
 
 	// Effective instructions: the probing period covers the full log;
 	// the histogram covers the post-warmup portion.
-	instrEff := uint64(float64(instructions) * float64(recorded) / float64(len(trace)))
-	if instrEff == 0 {
-		instrEff = 1
-	}
-
-	// MRC: Miss(size) = references with distance > size, plus infinite.
-	mpki := make([]float64, cfg.Points)
-	// Suffix sums over the histogram, evaluated at each point boundary.
-	misses := inf
-	bound := cfg.Points * cfg.LinesPerPoint
-	for d := cfg.StackLines; d > bound; d-- {
-		misses += hist[d]
-	}
-	for p := cfg.Points - 1; p >= 0; p-- {
-		hi := (p + 1) * cfg.LinesPerPoint
-		// misses currently holds Miss(hi); record it, then absorb the
-		// band (hi-LinesPerPoint..hi] for the next (smaller) point.
-		mpki[p] = 1000 * float64(misses) / float64(instrEff)
-		for d := hi; d > hi-cfg.LinesPerPoint; d-- {
-			misses += hist[d]
-		}
-	}
+	instrEff := effectiveInstructions(instructions, recorded, len(trace))
+	mpki := curveFromHist(hist, inf, instrEff, cfg)
 
 	return &Result{
 		MRC:           &MRC{MPKI: mpki},

@@ -14,9 +14,11 @@ import (
 
 	"rapidmrc/internal/color"
 	"rapidmrc/internal/core"
+	"rapidmrc/internal/mem"
 	"rapidmrc/internal/partition"
 	"rapidmrc/internal/phase"
 	"rapidmrc/internal/platform"
+	"rapidmrc/internal/pmu"
 	"rapidmrc/internal/workload"
 )
 
@@ -35,16 +37,28 @@ type Config struct {
 	MinGainMPKI float64
 	// Colors is the number of partition colors (16).
 	Colors int
+	// SnapshotEntries is the epoch length for mid-capture curve
+	// snapshots during a recomputation: every that many streamed log
+	// entries the controller snapshots the in-flight curve and ends the
+	// probing period early once consecutive snapshots agree to within
+	// ConvergedMPKI. Zero disables early termination (every probing
+	// period runs the full TraceEntries).
+	SnapshotEntries int
+	// ConvergedMPKI is the snapshot-to-snapshot distance below which the
+	// in-flight curve counts as settled.
+	ConvergedMPKI float64
 }
 
 // DefaultConfig returns sensible controller parameters.
 func DefaultConfig() Config {
 	return Config{
-		IntervalInstr: 1_000_000,
-		TraceEntries:  40_000,
-		Detector:      phase.DefaultConfig(),
-		MinGainMPKI:   0.5,
-		Colors:        color.NumColors,
+		IntervalInstr:   1_000_000,
+		TraceEntries:    40_000,
+		Detector:        phase.DefaultConfig(),
+		MinGainMPKI:     0.5,
+		Colors:          color.NumColors,
+		SnapshotEntries: 8_000,
+		ConvergedMPKI:   0.25,
 	}
 }
 
@@ -56,6 +70,10 @@ type Stats struct {
 	Transitions int
 	// Recomputations counts RapidMRC probing periods triggered.
 	Recomputations int
+	// ProbedEntries is the total log entries streamed across all
+	// recomputations; with snapshot convergence enabled it is what the
+	// fixed budget Recomputations × TraceEntries shrinks to.
+	ProbedEntries int
 	// Repartitions counts adopted allocation changes.
 	Repartitions int
 	// PagesMigrated is the total page-migration volume.
@@ -157,22 +175,50 @@ func (c *Controller) runInterval() []float64 {
 	return mpki
 }
 
-// reprofile arms a probing period on machine i and keeps the whole gang
-// running, cycle-interleaved, until the log fills — co-runners continue
-// to contend for the cache during the capture, exactly as they would on
-// the real machine. The new curve is anchored at the current partition
-// size's measured miss rate.
+// reprofile arms a streaming probing period on machine i and keeps the
+// whole gang running, cycle-interleaved, until the log fills — co-runners
+// continue to contend for the cache during the capture, exactly as they
+// would on the real machine. Samples flow from the PMU through the
+// streaming corrector into the incremental engine as they are recorded:
+// no trace log is materialized, and when epoch snapshots are enabled the
+// capture ends early once the in-flight curve settles, so a recomputation
+// costs only as many entries as the curve actually needs. The new curve
+// is anchored at the current partition size's measured miss rate.
 func (c *Controller) reprofile(i int) {
 	m := c.machines[i]
 	p := m.PMU()
 	m.ResetMetrics()
-	p.StartTrace(c.cfg.TraceEntries, m.Core().Instructions(), m.Core().Cycles())
+	eng, err := core.NewStreamEngine(core.DefaultConfig(), c.cfg.TraceEntries)
+	if err != nil {
+		return
+	}
+	var corr core.StreamCorrector
+	startInstr := m.Core().Instructions()
+	p.StartTraceTo(pmu.SinkFunc(func(l mem.Line) {
+		eng.Feed(corr.Feed(l))
+	}), c.cfg.TraceEntries, startInstr, m.Core().Cycles())
+
+	var conv *phase.Convergence
+	nextEpoch := c.cfg.SnapshotEntries
+	if c.cfg.SnapshotEntries > 0 && c.cfg.ConvergedMPKI > 0 {
+		conv = phase.NewConvergence(c.cfg.ConvergedMPKI, 2)
+	}
 	for !p.TraceFull() {
 		platform.NextByCycles(c.machines).Step()
+		if conv == nil || eng.Consumed() < nextEpoch {
+			continue
+		}
+		nextEpoch += c.cfg.SnapshotEntries
+		snap, err := eng.Snapshot(m.Core().Instructions() - startInstr)
+		if err != nil {
+			continue // still inside warmup
+		}
+		if conv.Observe(snap.MRC) {
+			break // curve settled: stop probing early
+		}
 	}
-	lines, st := p.FinishTrace(m.Core().Instructions(), m.Core().Cycles())
-	core.CorrectPrefetchRepetitions(lines)
-	res, err := core.Compute(lines, st.Instructions, core.DefaultConfig())
+	_, st := p.FinishTrace(m.Core().Instructions(), m.Core().Cycles())
+	res, err := eng.Snapshot(st.Instructions)
 	if err != nil {
 		// A degenerate capture (cannot happen with sane configs) keeps
 		// the old curve.
@@ -184,6 +230,7 @@ func (c *Controller) reprofile(i int) {
 	res.MRC.Transpose(c.alloc[i]-1, m.Metrics().MPKI())
 	c.curves[i] = res.MRC
 	c.stats.Recomputations++
+	c.stats.ProbedEntries += st.Captured
 }
 
 // maybeRepartition re-optimizes the allocation when every application has

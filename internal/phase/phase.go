@@ -11,7 +11,11 @@
 // the currently configured partition size.
 package phase
 
-import "fmt"
+import (
+	"fmt"
+
+	"rapidmrc/internal/core"
+)
 
 // Config holds the detector parameters; the paper's values are interval
 // length 1 G instructions, w = 3, threshold 3 MPKI, start/end fraction
@@ -149,4 +153,48 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// Convergence watches the epoch snapshots a streaming MRC computation
+// emits mid-capture and reports when the curve has stopped moving: the
+// §5.2.1 distance between consecutive snapshots stays below a threshold
+// for a number of consecutive epochs. The closed-loop controller uses it
+// to end a probing period early — the streaming counterpart of the
+// trace-log-length study of §5.2.3, which found most applications need
+// far fewer entries than the fixed 160k budget.
+type Convergence struct {
+	epsMPKI float64
+	need    int
+	streak  int
+	prev    *core.MRC
+}
+
+// NewConvergence returns a watcher declaring convergence after
+// consecutive successive snapshots each within epsMPKI mean absolute
+// distance of their predecessor. It panics on non-positive parameters
+// (they are static in this codebase, like the Detector's).
+func NewConvergence(epsMPKI float64, consecutive int) *Convergence {
+	if epsMPKI <= 0 || consecutive <= 0 {
+		panic(fmt.Sprintf("phase: convergence eps %v × %d epochs", epsMPKI, consecutive))
+	}
+	return &Convergence{epsMPKI: epsMPKI, need: consecutive}
+}
+
+// Observe consumes the next epoch's curve and reports whether the stream
+// has converged. The curve is cloned; the caller may keep mutating it.
+func (c *Convergence) Observe(curve *core.MRC) bool {
+	if c.prev != nil && len(c.prev.MPKI) == len(curve.MPKI) &&
+		core.Distance(c.prev, curve) <= c.epsMPKI {
+		c.streak++
+	} else {
+		c.streak = 0
+	}
+	c.prev = curve.Clone()
+	return c.streak >= c.need
+}
+
+// Reset forgets all observed snapshots.
+func (c *Convergence) Reset() {
+	c.streak = 0
+	c.prev = nil
 }

@@ -326,3 +326,22 @@ func (m *Machine) CollectTrace(entries int) Capture {
 	lines, stats := m.pmu.FinishTrace(m.core.Instructions(), m.core.Cycles())
 	return Capture{Lines: lines, Stats: stats}
 }
+
+// CollectTraceStream runs a probing period in streaming mode: every
+// captured sample is delivered to sink as the exception handler records
+// it, and no trace log is materialized — the capture→compute pipeline
+// runs in O(sink state) memory instead of O(entries). The sink is called
+// synchronously between machine steps, so it may read the machine's
+// progress counters (for mid-capture snapshots) but must not step it.
+//
+// The sample stream is identical, entry for entry, to the log CollectTrace
+// would return from the same machine state: same artifacts, same exception
+// costs, same log-pollution stores.
+func (m *Machine) CollectTraceStream(entries int, sink pmu.Sink) pmu.TraceStats {
+	m.pmu.StartTraceTo(sink, entries, m.core.Instructions(), m.core.Cycles())
+	for !m.pmu.TraceFull() {
+		m.Step()
+	}
+	_, stats := m.pmu.FinishTrace(m.core.Instructions(), m.core.Cycles())
+	return stats
+}

@@ -51,6 +51,21 @@ type TraceStats struct {
 	Cycles       uint64
 }
 
+// Sink consumes sampled line addresses as the PMU records them — the
+// streaming alternative to the buffered trace log. The PMU calls Sample
+// synchronously from the overflow exception path (or the trace-buffer
+// drain), so a sink sees entries in exactly the order the log would hold
+// them; it must not re-enter the PMU.
+type Sink interface {
+	Sample(line mem.Line)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(line mem.Line)
+
+// Sample implements Sink.
+func (f SinkFunc) Sample(line mem.Line) { f(line) }
+
 // PMU is the per-core monitoring unit. It is not safe for concurrent use.
 type PMU struct {
 	rng      *rand.Rand
@@ -62,7 +77,9 @@ type PMU struct {
 
 	tracing    bool
 	target     int
+	captured   int
 	trace      []mem.Line
+	sink       Sink
 	tstats     TraceStats
 	startInstr uint64
 	startCyc   uint64
@@ -124,30 +141,60 @@ func (p *PMU) OnPrefetchFill(burstLen int) {
 // StartTrace arms continuous data sampling with an overflow threshold of
 // one, targeting n log entries. instr and cycles timestamp the start.
 func (p *PMU) StartTrace(n int, instr, cycles uint64) {
+	p.startTrace(n, nil, instr, cycles)
+	p.trace = make([]mem.Line, 0, n)
+}
+
+// StartTraceTo arms sampling like StartTrace, but streams every recorded
+// entry into sink instead of materializing a trace log: the memory cost of
+// a probing period becomes the sink's own state, not O(entries). Both the
+// per-event-exception mode and the §6 trace-buffer mode deliver through
+// the sink; FinishTrace then returns a nil log with the usual stats.
+func (p *PMU) StartTraceTo(sink Sink, n int, instr, cycles uint64) {
+	p.startTrace(n, sink, instr, cycles)
+}
+
+func (p *PMU) startTrace(n int, sink Sink, instr, cycles uint64) {
 	p.tracing = true
 	p.target = n
-	p.trace = make([]mem.Line, 0, n)
+	p.captured = 0
+	p.trace = nil
+	p.sink = sink
 	p.tstats = TraceStats{}
 	p.startInstr = instr
 	p.startCyc = cycles
 	p.buffered = 0
 }
 
+// record delivers one sampled entry to the log or the sink.
+func (p *PMU) record(line mem.Line) {
+	p.captured++
+	if p.sink != nil {
+		p.sink.Sample(line)
+		return
+	}
+	p.trace = append(p.trace, line)
+}
+
 // Tracing reports whether a probing period is active.
 func (p *PMU) Tracing() bool { return p.tracing }
 
 // TraceFull reports whether the log has reached its target length.
-func (p *PMU) TraceFull() bool { return p.tracing && len(p.trace) >= p.target }
+func (p *PMU) TraceFull() bool { return p.tracing && p.captured >= p.target }
 
 // FinishTrace disarms sampling and returns the captured log and its stats.
-// instr and cycles timestamp the end.
+// The log is nil when the trace was streamed to a sink (StartTraceTo).
+// instr and cycles timestamp the end. It may be called before the log
+// fills, aborting the probing period early (streaming consumers stop as
+// soon as their snapshot converges).
 func (p *PMU) FinishTrace(instr, cycles uint64) ([]mem.Line, TraceStats) {
 	p.tracing = false
-	p.tstats.Captured = len(p.trace)
+	p.tstats.Captured = p.captured
 	p.tstats.Instructions = instr - p.startInstr
 	p.tstats.Cycles = cycles - p.startCyc
 	trace := p.trace
 	p.trace = nil
+	p.sink = nil
 	return trace, p.tstats
 }
 
@@ -162,12 +209,12 @@ func (p *PMU) OnL1DMiss(line mem.Line, overlapped bool, dropPermille uint64) (ex
 	if p.bufferSize > 1 {
 		// Future-PMU path: the buffer records the true address of every
 		// event; the exception amortizes over the buffer depth.
-		if !p.tracing || len(p.trace) >= p.target {
+		if !p.tracing || p.captured >= p.target {
 			return false
 		}
-		p.trace = append(p.trace, line)
+		p.record(line)
 		p.buffered++
-		if p.buffered >= p.bufferSize || len(p.trace) >= p.target {
+		if p.buffered >= p.bufferSize || p.captured >= p.target {
 			p.buffered = 0
 			return true
 		}
@@ -194,7 +241,7 @@ func (p *PMU) OnL1DMiss(line mem.Line, overlapped bool, dropPermille uint64) (ex
 		p.sdarValid = true
 	}
 
-	if !p.tracing || len(p.trace) >= p.target {
+	if !p.tracing || p.captured >= p.target {
 		return false
 	}
 	rec := p.sdar
@@ -203,6 +250,6 @@ func (p *PMU) OnL1DMiss(line mem.Line, overlapped bool, dropPermille uint64) (ex
 		// whatever the register held. Record the line itself.
 		rec = line
 	}
-	p.trace = append(p.trace, rec)
+	p.record(rec)
 	return true
 }

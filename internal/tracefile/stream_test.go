@@ -1,0 +1,173 @@
+package tracefile
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+	"testing/quick"
+
+	"rapidmrc/internal/mem"
+)
+
+// randLines mixes dense streams and far jumps, like a real capture.
+func randLines(r *rand.Rand, n int) []mem.Line {
+	lines := make([]mem.Line, n)
+	cur := uint64(r.Intn(1 << 20))
+	for i := range lines {
+		switch r.Intn(4) {
+		case 0:
+			cur = r.Uint64() >> uint(r.Intn(40))
+		default:
+			cur += uint64(r.Intn(8))
+		}
+		lines[i] = mem.Line(cur)
+	}
+	return lines
+}
+
+// TestWriterMatchesWrite pins the compatibility contract: the incremental
+// Writer emits the exact bytes of the whole-trace Write, on both the
+// staging (non-seekable) and backpatching (seekable) paths.
+func TestWriterMatchesWrite(t *testing.T) {
+	f := func(seed int64, n16 uint16, instr, cycles uint64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := &Trace{
+			Lines:        randLines(r, int(n16%4096)),
+			Instructions: instr,
+			Cycles:       cycles,
+		}
+		var want bytes.Buffer
+		if err := Write(&want, in); err != nil {
+			t.Fatal(err)
+		}
+
+		// Non-seekable: a plain bytes.Buffer forces the staging path.
+		var staged bytes.Buffer
+		w := NewWriter(&staged)
+		for _, l := range in.Lines {
+			if err := w.Append(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if w.Count() != len(in.Lines) {
+			t.Fatalf("Count = %d, want %d", w.Count(), len(in.Lines))
+		}
+		if err := w.Finish(in.Instructions, in.Cycles); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), staged.Bytes()) {
+			t.Log("staged writer bytes differ from Write")
+			return false
+		}
+
+		// Seekable: a temp file exercises the header backpatch.
+		file, err := os.CreateTemp(t.TempDir(), "trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer file.Close()
+		w = NewWriter(file)
+		for _, l := range in.Lines {
+			if err := w.Append(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Finish(in.Instructions, in.Cycles); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(file.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got) {
+			t.Log("seekable writer bytes differ from Write")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamRoundTrip streams a trace out through Writer and back in
+// through Reader, never holding the whole log on either side, and checks
+// it against the batch round trip.
+func TestStreamRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	in := randLines(r, 10_000)
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, l := range in {
+		if err := w.Append(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(42, 77); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Instructions() != 42 || tr.Cycles() != 77 || tr.Len() != len(in) {
+		t.Fatalf("header: instr %d cycles %d len %d", tr.Instructions(), tr.Cycles(), tr.Len())
+	}
+	for i, want := range in {
+		got, err := tr.Next()
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("entry %d = %d, want %d", i, got, want)
+		}
+	}
+	if _, err := tr.Next(); err != io.EOF {
+		t.Fatalf("after last entry: %v, want io.EOF", err)
+	}
+}
+
+// TestReaderTruncated checks that a stream cut off mid-entries surfaces
+// an unexpected-EOF rather than a silent short read.
+func TestReaderTruncated(t *testing.T) {
+	in := &Trace{Lines: []mem.Line{1, 2, 3, 4, 5}, Instructions: 1}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-2]
+	tr, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last error
+	for i := 0; i < len(in.Lines); i++ {
+		if _, last = tr.Next(); last != nil {
+			break
+		}
+	}
+	if last == nil || !bytes.Contains([]byte(last.Error()), []byte("unexpected EOF")) {
+		t.Fatalf("truncated stream: %v, want wrapped ErrUnexpectedEOF", last)
+	}
+}
+
+func TestWriterMisuse(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2); err == nil {
+		t.Fatal("Append after Finish succeeded")
+	}
+	if err := w.Finish(0, 0); err == nil {
+		t.Fatal("second Finish succeeded")
+	}
+}

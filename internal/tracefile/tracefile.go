@@ -18,10 +18,16 @@
 // Consecutive trace entries are strongly correlated (streams, repeated
 // stale samples), so zig-zag deltas + uvarint typically compress the log
 // by 4–6× over raw 8-byte entries.
+//
+// Write and Read handle whole traces; Writer and Reader are the
+// incremental forms of the same format, so a streaming capture can be
+// archived as it happens and an archived trace can feed the streaming
+// engine without either end materializing the full log.
 package tracefile
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -35,6 +41,19 @@ var magic = [4]byte{'R', 'M', 'R', 'C'}
 
 // Version is the current format version.
 const Version = 1
+
+// headerLen is the fixed header length after the magic: version, flags,
+// instructions, cycles, count.
+const headerLen = 2 + 2 + 8 + 8 + 8
+
+// putHeader encodes the fixed header fields.
+func putHeader(head *[headerLen]byte, instructions, cycles, count uint64) {
+	binary.LittleEndian.PutUint16(head[0:], Version)
+	binary.LittleEndian.PutUint16(head[2:], 0)
+	binary.LittleEndian.PutUint64(head[4:], instructions)
+	binary.LittleEndian.PutUint64(head[12:], cycles)
+	binary.LittleEndian.PutUint64(head[20:], count)
+}
 
 // ErrBadMagic is returned when the input is not a trace file.
 var ErrBadMagic = errors.New("tracefile: bad magic")
@@ -53,12 +72,8 @@ func Write(w io.Writer, t *Trace) error {
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
-	var head [2 + 2 + 8 + 8 + 8]byte
-	binary.LittleEndian.PutUint16(head[0:], Version)
-	binary.LittleEndian.PutUint16(head[2:], 0)
-	binary.LittleEndian.PutUint64(head[4:], t.Instructions)
-	binary.LittleEndian.PutUint64(head[12:], t.Cycles)
-	binary.LittleEndian.PutUint64(head[20:], uint64(len(t.Lines)))
+	var head [headerLen]byte
+	putHeader(&head, t.Instructions, t.Cycles, uint64(len(t.Lines)))
 	if _, err := bw.Write(head[:]); err != nil {
 		return err
 	}
@@ -75,8 +90,166 @@ func Write(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// Read deserializes a trace from r.
+// Writer encodes a trace incrementally, for captures that stream samples
+// as they arrive: entries are appended one at a time and the header —
+// whose entry count and progress metadata are only known once the probing
+// period ends — is fixed up by Finish.
+//
+// When w is an io.Seeker (an *os.File), entries are written through
+// directly and Finish seeks back to patch the header: memory stays O(1)
+// however long the trace. Otherwise the encoded entries (typically 4–6×
+// smaller than the raw log) are staged in memory and flushed by Finish.
+type Writer struct {
+	w      io.Writer
+	seek   io.Seeker // nil when w cannot seek
+	bw     *bufio.Writer
+	staged *bytes.Buffer // staging area for non-seekable sinks
+	prev   uint64
+	count  uint64
+	err    error
+	done   bool
+}
+
+// NewWriter returns a writer appending entries to w. Nothing reaches a
+// non-seekable w before Finish.
+func NewWriter(w io.Writer) *Writer {
+	wr := &Writer{w: w}
+	if s, ok := w.(io.Seeker); ok {
+		wr.seek = s
+		wr.bw = bufio.NewWriter(w)
+		// Placeholder header, patched by Finish.
+		var head [headerLen]byte
+		if _, err := wr.bw.Write(magic[:]); err != nil {
+			wr.err = err
+		} else if _, err := wr.bw.Write(head[:]); err != nil {
+			wr.err = err
+		}
+	} else {
+		wr.staged = new(bytes.Buffer)
+		wr.bw = bufio.NewWriter(wr.staged)
+	}
+	return wr
+}
+
+// Append encodes one entry.
+func (w *Writer) Append(l mem.Line) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.done {
+		w.err = errors.New("tracefile: Append after Finish")
+		return w.err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	delta := int64(uint64(l) - w.prev)
+	n := binary.PutUvarint(buf[:], zigzag(delta))
+	if _, err := w.bw.Write(buf[:n]); err != nil {
+		w.err = err
+		return err
+	}
+	w.prev = uint64(l)
+	w.count++
+	return nil
+}
+
+// Count returns the number of entries appended so far.
+func (w *Writer) Count() int { return int(w.count) }
+
+// Finish completes the file with the capture's progress metadata: it
+// flushes pending entries and writes (or backpatches) the header. The
+// Writer is unusable afterwards.
+func (w *Writer) Finish(instructions, cycles uint64) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.done {
+		w.err = errors.New("tracefile: Finish called twice")
+		return w.err
+	}
+	w.done = true
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	var head [headerLen]byte
+	putHeader(&head, instructions, cycles, w.count)
+	if w.seek != nil {
+		// Patch the placeholder in place, then return to the end so the
+		// underlying file position stays sane for the caller.
+		if _, err := w.seek.Seek(int64(len(magic)), io.SeekStart); err != nil {
+			w.err = err
+			return err
+		}
+		if _, err := w.w.Write(head[:]); err != nil {
+			w.err = err
+			return err
+		}
+		if _, err := w.seek.Seek(0, io.SeekEnd); err != nil {
+			w.err = err
+			return err
+		}
+		return nil
+	}
+	if _, err := w.w.Write(magic[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.w.Write(head[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.w.Write(w.staged.Bytes()); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Read deserializes a whole trace from r.
 func Read(r io.Reader) (*Trace, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{
+		Instructions: tr.Instructions(),
+		Cycles:       tr.Cycles(),
+	}
+	// The count is attacker/corruption-controlled: start from a bounded
+	// chunk and grow as entries actually decode, so a huge count on a
+	// tiny (truncated) input fails fast instead of preallocating up to
+	// 8 GB before reading a single entry. Allocation stays proportional
+	// to the bytes really present in the input.
+	const chunk = 1 << 16
+	t.Lines = make([]mem.Line, 0, min(uint64(tr.Len()), chunk))
+	for {
+		l, err := tr.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Lines = append(t.Lines, l)
+	}
+}
+
+// Reader decodes a trace file incrementally: the header is parsed by
+// NewReader, then Next yields one entry at a time, so an archived probing
+// period can feed a streaming engine without the whole log ever being in
+// memory at once.
+type Reader struct {
+	br           *bufio.Reader
+	instructions uint64
+	cycles       uint64
+	count        uint64
+	read         uint64
+	prev         uint64
+}
+
+// NewReader reads and validates the header, leaving r positioned at the
+// first entry.
+func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
@@ -85,7 +258,7 @@ func Read(r io.Reader) (*Trace, error) {
 	if m != magic {
 		return nil, ErrBadMagic
 	}
-	var head [2 + 2 + 8 + 8 + 8]byte
+	var head [headerLen]byte
 	if _, err := io.ReadFull(br, head[:]); err != nil {
 		return nil, fmt.Errorf("tracefile: reading header: %w", err)
 	}
@@ -95,32 +268,44 @@ func Read(r io.Reader) (*Trace, error) {
 	if f := binary.LittleEndian.Uint16(head[2:]); f != 0 {
 		return nil, fmt.Errorf("tracefile: nonzero reserved flags %#x", f)
 	}
-	t := &Trace{
-		Instructions: binary.LittleEndian.Uint64(head[4:]),
-		Cycles:       binary.LittleEndian.Uint64(head[12:]),
-	}
 	count := binary.LittleEndian.Uint64(head[20:])
 	const maxEntries = 1 << 30 // 1 Gi entries ≈ 8 GB decoded: refuse anything bigger
 	if count > maxEntries {
 		return nil, fmt.Errorf("tracefile: implausible entry count %d", count)
 	}
-	// The count is attacker/corruption-controlled: start from a bounded
-	// chunk and grow as entries actually decode, so a huge count on a
-	// tiny (truncated) input fails fast instead of preallocating up to
-	// 8 GB before reading a single entry. Allocation stays proportional
-	// to the bytes really present in the input.
-	const chunk = 1 << 16
-	t.Lines = make([]mem.Line, 0, min(count, chunk))
-	prev := uint64(0)
-	for i := uint64(0); i < count; i++ {
-		zz, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("tracefile: entry %d: %w", i, err)
-		}
-		prev += uint64(unzigzag(zz))
-		t.Lines = append(t.Lines, mem.Line(prev))
+	return &Reader{
+		br:           br,
+		instructions: binary.LittleEndian.Uint64(head[4:]),
+		cycles:       binary.LittleEndian.Uint64(head[12:]),
+		count:        count,
+	}, nil
+}
+
+// Instructions returns the application progress recorded in the header.
+func (r *Reader) Instructions() uint64 { return r.instructions }
+
+// Cycles returns the capture cost recorded in the header.
+func (r *Reader) Cycles() uint64 { return r.cycles }
+
+// Len returns the total number of entries the file declares.
+func (r *Reader) Len() int { return int(r.count) }
+
+// Next decodes the next entry. It returns io.EOF after the last declared
+// entry; a stream that ends early yields a wrapped ErrUnexpectedEOF.
+func (r *Reader) Next() (mem.Line, error) {
+	if r.read >= r.count {
+		return 0, io.EOF
 	}
-	return t, nil
+	zz, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, fmt.Errorf("tracefile: entry %d: %w", r.read, err)
+	}
+	r.read++
+	r.prev += uint64(unzigzag(zz))
+	return mem.Line(r.prev), nil
 }
 
 // zigzag maps signed deltas to unsigned so small negative deltas stay

@@ -54,8 +54,28 @@ type Curve struct {
 	MPKI []float64
 }
 
-// At returns the MPKI at a 1-based number of colors.
-func (c *Curve) At(colors int) float64 { return c.MPKI[colors-1] }
+// At returns the MPKI at a 1-based number of colors. An out-of-range
+// colors is clamped to the curve's domain [1, len(MPKI)] — asking for the
+// miss rate beyond the largest modeled size returns the largest size's
+// value (the curve is flat past the cache capacity) rather than
+// panicking; an empty curve returns 0.
+func (c *Curve) At(colors int) float64 {
+	if len(c.MPKI) == 0 {
+		return 0
+	}
+	return c.MPKI[clampIndex(colors-1, len(c.MPKI))]
+}
+
+// clampIndex confines a 0-based index to [0, n).
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
 
 // Clone returns a deep copy.
 func (c *Curve) Clone() *Curve {
@@ -66,10 +86,15 @@ func (c *Curve) Clone() *Curve {
 
 // Transpose shifts the whole curve so point refColors matches the
 // measured MPKI there (the v-offset correction, §3.2) and returns the
-// shift applied.
+// shift applied. Points the shift would push below zero are clamped at 0.
+// An out-of-range refColors is clamped to the curve's domain like
+// Curve.At; transposing an empty curve is a no-op returning 0.
 func (c *Curve) Transpose(refColors int, measured float64) float64 {
+	if len(c.MPKI) == 0 {
+		return 0
+	}
 	m := core.MRC{MPKI: c.MPKI}
-	return m.Transpose(refColors-1, measured)
+	return m.Transpose(clampIndex(refColors-1, len(c.MPKI)), measured)
 }
 
 // Distance is the curve similarity metric of §5.2.1: mean absolute MPKI
@@ -109,6 +134,14 @@ type Stats struct {
 	// Shift is the v-offset applied by workflows that transpose
 	// (0 until Transpose is called).
 	Shift float64
+	// Captured, Dropped, Stale and CaptureCycles describe the probing
+	// period for streaming workflows (System.Stream), where no Trace is
+	// materialized to carry them; Engine.Compute leaves them zero — its
+	// input Trace holds the capture metadata.
+	Captured      int
+	Dropped       int
+	Stale         int
+	CaptureCycles uint64
 }
 
 // Engine computes curves from traces. The zero value is not usable; use
@@ -145,6 +178,76 @@ func NewEngine(opts ...EngineOption) *Engine {
 		o(e)
 	}
 	return e
+}
+
+// Stream is the incremental form of Engine.Compute: references are fed
+// one at a time — through the streaming prefetch-repetition corrector and
+// into the incremental Mattson engine — and the curve can be snapshotted
+// at any point mid-stream. Memory is O(stack), independent of the stream
+// length: nothing of the trace is retained.
+//
+// Feeding a whole trace and taking a final Snapshot produces results
+// bit-identical to Engine.Compute over the same trace (given the same
+// target length and instruction count); the property tests pin this
+// equivalence. A Stream is not safe for concurrent use.
+type Stream struct {
+	corr *core.StreamCorrector // nil when correction is disabled
+	eng  *core.StreamEngine
+}
+
+// NewStream returns a stream expecting a probing period of targetEntries
+// references — the length the warmup policy's static fallback is a
+// fraction of (batch Compute reads it from len(trace); a stream must be
+// told up front).
+func (e *Engine) NewStream(targetEntries int) (*Stream, error) {
+	se, err := core.NewStreamEngine(e.cfg, targetEntries)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{eng: se}
+	if e.correct {
+		s.corr = new(core.StreamCorrector)
+	}
+	return s, nil
+}
+
+// Feed consumes one raw logged cache-line address.
+func (s *Stream) Feed(line uint64) {
+	l := mem.Line(line)
+	if s.corr != nil {
+		l = s.corr.Feed(l)
+	}
+	s.eng.Feed(l)
+}
+
+// Entries returns the number of references fed so far.
+func (s *Stream) Entries() int { return s.eng.Consumed() }
+
+// Warming reports whether the stream is still inside the warmup phase;
+// snapshots fail until it ends.
+func (s *Stream) Warming() bool { return s.eng.Warming() }
+
+// Snapshot builds the raw (untransposed) curve from everything fed so far
+// — the epoch-based mid-stream read. instructions is the application's
+// progress over the fed portion of the probing period, used for MPKI
+// normalization. The stream may keep feeding afterwards; the snapshot is
+// an independent copy. It fails while warmup has consumed everything fed.
+func (s *Stream) Snapshot(instructions uint64) (*Curve, *Stats, error) {
+	res, err := s.eng.Snapshot(instructions)
+	if err != nil {
+		return nil, nil, err
+	}
+	converted := 0
+	if s.corr != nil {
+		converted = s.corr.Converted()
+	}
+	return &Curve{MPKI: res.MRC.MPKI}, &Stats{
+		Converted:     converted,
+		WarmupEntries: res.WarmupEntries,
+		AutoWarmup:    res.AutoWarmup,
+		StackHitRate:  res.StackHitRate,
+		ComputeCycles: res.ModelCycles,
+	}, nil
 }
 
 // Compute corrects the trace and runs the stack algorithm, returning the

@@ -5,7 +5,9 @@ import (
 
 	"rapidmrc/internal/color"
 	"rapidmrc/internal/cpu"
+	"rapidmrc/internal/mem"
 	"rapidmrc/internal/platform"
+	"rapidmrc/internal/pmu"
 	"rapidmrc/internal/workload"
 )
 
@@ -137,6 +139,67 @@ func (s *System) Capture() *Trace {
 		Dropped:      cap.Stats.Dropped,
 		Stale:        cap.Stats.Stale,
 	}
+}
+
+// StreamEpoch is one mid-capture snapshot delivered during System.Stream:
+// the in-flight curve after Entries log entries, computed without pausing
+// the capture.
+type StreamEpoch struct {
+	// Entries is the number of log entries consumed so far.
+	Entries int
+	// Instructions is the application's progress since capture start.
+	Instructions uint64
+	// Curve and Stats are the snapshot (raw, untransposed).
+	Curve *Curve
+	Stats *Stats
+}
+
+// Stream runs one probing period with capture and computation fused:
+// every PMU sample flows through the streaming corrector into the
+// incremental Mattson engine the moment the exception handler records it,
+// so no trace log is ever materialized — this is the always-on form of
+// Capture followed by Engine.Compute, and produces the identical curve
+// from the same machine state. The final curve is transposed to the miss
+// rate measured at the reference partition size, exactly as Online does.
+//
+// epochEntries > 0 delivers a mid-capture snapshot to onEpoch every that
+// many entries (epochs still inside warmup are skipped); onEpoch may be
+// nil. The returned Stats carry the capture's artifact counts in addition
+// to the compute statistics.
+func (s *System) Stream(epochEntries int, onEpoch func(StreamEpoch)) (*Curve, *Stats, error) {
+	st, err := NewEngine().NewStream(s.opt.entries)
+	if err != nil {
+		return nil, nil, err
+	}
+	startInstr := s.m.Core().Instructions()
+	next := epochEntries
+	sink := pmu.SinkFunc(func(l mem.Line) {
+		st.Feed(uint64(l))
+		if epochEntries <= 0 || onEpoch == nil || st.Entries() < next {
+			return
+		}
+		next += epochEntries
+		instr := s.m.Core().Instructions() - startInstr
+		if c, cs, err := st.Snapshot(instr); err == nil {
+			onEpoch(StreamEpoch{Entries: st.Entries(), Instructions: instr, Curve: c, Stats: cs})
+		}
+	})
+	stats := s.m.CollectTraceStream(s.opt.entries, sink)
+	curve, cstats, err := st.Snapshot(stats.Instructions)
+	if err != nil {
+		return nil, nil, err
+	}
+	cstats.Captured = stats.Captured
+	cstats.Dropped = stats.Dropped
+	cstats.Stale = stats.Stale
+	cstats.CaptureCycles = stats.Cycles
+	measured := s.MeasureMPKI(200_000)
+	ref := s.opt.refColors
+	if ref == 0 {
+		ref = s.opt.colors.Count()
+	}
+	cstats.Shift = curve.Transpose(ref, measured)
+	return curve, cstats, nil
 }
 
 // MeasureMPKI runs the application for n instructions and returns its
