@@ -275,6 +275,42 @@ func BenchmarkFig3SweepPooled(b *testing.B) {
 	runExperiment(b, "fig3", cfg)
 }
 
+// BenchmarkMachineStep measures the raw simulated-execution rate in
+// ns/ref: one machine, warm caches, the mcf reference stream.
+func BenchmarkMachineStep(b *testing.B) {
+	m := platform.NewMachine(workload.New(workload.MustByName("mcf"), 1),
+		platform.Options{Mode: cpu.Complex, L3Enabled: true, Seed: 1})
+	m.RunRefs(200_000)
+	b.ResetTimer()
+	m.RunRefs(b.N)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/ref")
+}
+
+// BenchmarkRealMRCSweep is the tentpole measurement: the full 16-partition
+// real-MRC sweep of §5.2.1 on one application, per-machine (the legacy
+// one-simulation-per-size strategy, regenerating the stream 16 times)
+// against the shared-stream fan-out (one generator pass, leader L1, all
+// machines replaying each chunk). Both arms run serially so the comparison
+// is work, not parallelism; the acceptance bound is shared ≥ 2× faster.
+func BenchmarkRealMRCSweep(b *testing.B) {
+	app := workload.MustByName("mcf")
+	for _, arm := range []struct {
+		name       string
+		perMachine bool
+	}{{"perMachine", true}, {"shared", false}} {
+		b.Run(arm.name, func(b *testing.B) {
+			cfg := platform.DefaultRealMRCConfig()
+			cfg.Workers = 1
+			cfg.PerMachine = arm.perMachine
+			for i := 0; i < b.N; i++ {
+				if mrc := platform.RealMRC(app, cfg); len(mrc) != 16 {
+					b.Fatalf("got %d-point curve", len(mrc))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkOnlineEndToEnd is the user-facing workflow: warmup, capture,
 // compute, transpose.
 func BenchmarkOnlineEndToEnd(b *testing.B) {

@@ -1,0 +1,52 @@
+// Command benchjson runs the simulator benchmark suite and writes the
+// results as JSON — the generator of BENCH_simulator.json, which CI
+// produces on every run as a performance smoke artifact.
+//
+// Usage:
+//
+//	benchjson                          # print to stdout
+//	benchjson -o BENCH_simulator.json  # regenerate the committed file
+//	benchjson -quick -reps 1           # CI smoke sizing
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rapidmrc/internal/benchsuite"
+)
+
+func main() {
+	var (
+		out   = flag.String("o", "", "write JSON here (default stdout)")
+		quick = flag.Bool("quick", false, "~8× smaller workloads (CI smoke)")
+		reps  = flag.Int("reps", 3, "repetitions per measurement (minimum is reported)")
+	)
+	flag.Parse()
+
+	suite, err := benchsuite.Run(benchsuite.Config{Quick: *quick, Reps: *reps})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(suite, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for _, r := range suite.Results {
+		fmt.Fprintf(os.Stderr, "%-28s %10.2f %s\n", r.Name, r.Value, r.Metric)
+	}
+	fmt.Fprintf(os.Stderr, "written to %s\n", *out)
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"rapidmrc/internal/experiments"
+	"rapidmrc/internal/prof"
 )
 
 func main() {
@@ -28,6 +29,8 @@ func main() {
 		apps     = flag.String("apps", "", "comma-separated application subset")
 		parallel = flag.Int("parallel", 0, "worker pool size for sweeps (0 = one per CPU, 1 = serial)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -38,19 +41,26 @@ func main() {
 		return
 	}
 
+	stop, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer stop()
+
 	cfg := experiments.Config{Seed: *seed, Quick: *quick, Parallel: *parallel}
 	if *apps != "" {
 		cfg.Apps = strings.Split(*apps, ",")
 	}
 
 	start := time.Now()
-	var err error
 	if *run == "all" {
 		err = experiments.RunAll(os.Stdout, cfg)
 	} else {
 		err = experiments.Run(*run, os.Stdout, cfg)
 	}
 	if err != nil {
+		stop()
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

@@ -19,9 +19,19 @@ import (
 
 	"rapidmrc"
 	"rapidmrc/internal/mem"
+	"rapidmrc/internal/prof"
 	"rapidmrc/internal/report"
 	"rapidmrc/internal/tracefile"
 )
+
+// fail prints the error and exits, flushing any active profiles first.
+var stopProfiles = func() {}
+
+func fail(err error) {
+	stopProfiles()
+	fmt.Fprintln(os.Stderr, "mrcgen:", err)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -36,6 +46,8 @@ func main() {
 		load       = flag.String("load", "", "compute from a previously saved trace instead of capturing")
 		stream     = flag.Bool("stream", false, "fuse capture and compute: samples flow straight into the incremental engine, no trace log is materialized")
 		epoch      = flag.Int("epoch", 0, "with -stream, print a mid-capture curve snapshot every N entries (0 = none)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -46,6 +58,13 @@ func main() {
 		return
 	}
 
+	stop, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fail(err)
+	}
+	stopProfiles = stop
+	defer stop()
+
 	opts := []rapidmrc.SystemOption{
 		rapidmrc.WithSeed(*seed),
 		rapidmrc.WithTraceEntries(*entries),
@@ -55,15 +74,13 @@ func main() {
 	}
 
 	if *stream && *save != "" {
-		fmt.Fprintln(os.Stderr, "mrcgen: -save needs the buffered capture path; -stream never materializes a trace")
-		os.Exit(1)
+		fail(fmt.Errorf("-save needs the buffered capture path; -stream never materializes a trace"))
 	}
 
 	var (
 		curve *rapidmrc.Curve
 		stats *rapidmrc.Stats
 		trace *rapidmrc.Trace
-		err   error
 	)
 	switch {
 	case *stream && *load != "":
@@ -79,13 +96,11 @@ func main() {
 		curve, stats, trace, err = rapidmrc.Online(*app, opts...)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mrcgen:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *save != "" {
 		if err := saveTrace(*save, trace); err != nil {
-			fmt.Fprintln(os.Stderr, "mrcgen:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "trace saved to %s\n", *save)
 	}
@@ -117,8 +132,7 @@ func main() {
 		}
 		real, err := rapidmrc.RealCurve(*app, realOpts...)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mrcgen:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		matched := curve.Clone()
 		matched.Transpose(8, real.At(8))

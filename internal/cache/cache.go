@@ -9,6 +9,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"rapidmrc/internal/mem"
@@ -32,20 +33,30 @@ type Config struct {
 }
 
 // Validate reports whether the configuration is internally consistent.
+// Every rejection here guards an indexing assumption: a non-power-of-two
+// LineSize would shear line addresses across set boundaries, a size that
+// is not a whole number of lines (or lines not divisible into ways) would
+// leave a fractional set, and a negative way count has no victim order.
+// Set counts that are not powers of two are legal — the POWER5 L2 itself
+// has 1536 sets — but they take the precomputed-modulus index path instead
+// of the shift/mask one (see setIndex), so nothing silently mis-indexes.
 func (c Config) Validate() error {
 	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
-		return fmt.Errorf("cache %s: line size %d is not a positive power of two", c.Name, c.LineSize)
+		return fmt.Errorf("cache %s: line size %d is not a positive power of two (set indexing shifts by log2(line size))", c.Name, c.LineSize)
 	}
 	if c.SizeBytes <= 0 || c.SizeBytes%int64(c.LineSize) != 0 {
 		return fmt.Errorf("cache %s: size %d is not a positive multiple of line size %d", c.Name, c.SizeBytes, c.LineSize)
+	}
+	if c.Ways < 0 {
+		return fmt.Errorf("cache %s: negative associativity %d", c.Name, c.Ways)
 	}
 	lines := c.SizeBytes / int64(c.LineSize)
 	ways := int64(c.Ways)
 	if c.Ways == 0 {
 		ways = lines
 	}
-	if ways <= 0 || lines%ways != 0 {
-		return fmt.Errorf("cache %s: %d lines not divisible by %d ways", c.Name, lines, ways)
+	if lines%ways != 0 {
+		return fmt.Errorf("cache %s: %d lines not divisible by %d ways (would leave a fractional set)", c.Name, lines, ways)
 	}
 	if c.Policy != LRU && (c.Ways <= 0 || c.Ways > wideSetThreshold) {
 		return fmt.Errorf("cache %s: policy %v requires 1..%d ways", c.Name, c.Policy, wideSetThreshold)
@@ -98,11 +109,30 @@ type Result struct {
 // set. It is indexed by line address modulo the set count, which matches a
 // physically indexed cache when fed physical line numbers.
 //
+// The common case — LRU replacement at ordinary associativity — stores all
+// sets in one flat interleaved word array (see flatLRU), so an access is a
+// direct (devirtualized) call into one contiguous run of memory and the
+// whole structure costs two allocations. Wide (fully associative) and
+// non-LRU sets go through the set interface instead.
+//
 // A Cache is not safe for concurrent use.
 type Cache struct {
 	cfg   Config
-	sets  []set
+	lru   *flatLRU // fast path: narrow LRU sets (nil otherwise)
+	sets  []set    // slow path: wide or non-LRU sets (nil otherwise)
 	stats Stats
+
+	// Set indexing is divide-free on every geometry: power-of-two set
+	// counts mask with setMask; 3·2^k counts (the POWER5 L2's 1536 and
+	// L3's 24576) split into a masked low part and a constant %3 the
+	// compiler strength-reduces; anything else uses the precomputed
+	// Lemire modulus (setMagic). All three are bit-exact line % nsets.
+	nsets    uint64
+	setMask  uint64 // low-bits mask (nsets-1, or 2^k-1 for 3·2^k)
+	setShift uint   // k for the 3·2^k form
+	setPow2  bool
+	setThree bool
+	setMagic magic128
 }
 
 // New builds a cache from cfg. It panics if cfg is invalid; configurations
@@ -117,16 +147,28 @@ func New(cfg Config) *Cache {
 	if ways == 0 {
 		ways = cfg.Lines()
 	}
-	c := &Cache{cfg: cfg, sets: make([]set, nsets)}
-	var rng *rand.Rand
-	if cfg.Policy == Random {
-		rng = rand.New(rand.NewSource(cfg.Seed ^ 0xcace))
+	c := &Cache{cfg: cfg, nsets: uint64(nsets)}
+	if c.nsets&(c.nsets-1) == 0 {
+		c.setPow2 = true
+		c.setMask = c.nsets - 1
+	} else {
+		c.setMagic = newMagic128(c.nsets)
 	}
-	for i := range c.sets {
-		if cfg.Policy == LRU {
-			c.sets[i] = newSet(ways)
-		} else {
-			c.sets[i] = newPolicySet(cfg.Policy, ways, rng)
+	switch {
+	case cfg.Policy == LRU && ways <= flatMaxWays:
+		c.lru = newFlatLRU(nsets, ways)
+	default:
+		c.sets = make([]set, nsets)
+		var rng *rand.Rand
+		if cfg.Policy == Random {
+			rng = rand.New(rand.NewSource(cfg.Seed ^ 0xcace))
+		}
+		for i := range c.sets {
+			if cfg.Policy == LRU {
+				c.sets[i] = newMapSet(ways)
+			} else {
+				c.sets[i] = newPolicySet(cfg.Policy, ways, rng)
+			}
 		}
 	}
 	return c
@@ -141,9 +183,47 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the statistics without touching cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
-// setIndex maps a line to its set.
+// magic128 is the 128-bit Lemire "fastmod" magic for a fixed divisor d:
+// M = ⌈2^128 / d⌉. n % d is then the high 128→64 bits of (M·n mod 2^128)·d
+// — three multiplies instead of a hardware divide, exact for all 64-bit n.
+type magic128 struct {
+	hi, lo uint64
+}
+
+// newMagic128 computes ⌈2^128 / d⌉ for d ≥ 2.
+func newMagic128(d uint64) magic128 {
+	// floor((2^128 - 1) / d) via 128/64 long division, then +1.
+	qhi := ^uint64(0) / d
+	rem := ^uint64(0) % d
+	qlo, _ := bits.Div64(rem, ^uint64(0), d)
+	lo := qlo + 1
+	hi := qhi
+	if lo == 0 {
+		hi++
+	}
+	return magic128{hi: hi, lo: lo}
+}
+
+// mod returns n % d for the divisor the magic was built for.
+func (m magic128) mod(n, d uint64) uint64 {
+	// lowbits = M * n mod 2^128
+	lbHi, lbLo := bits.Mul64(m.lo, n)
+	lbHi += m.hi * n
+	// result = (lowbits * d) >> 128
+	h1, _ := bits.Mul64(lbLo, d)
+	tHi, tLo := bits.Mul64(lbHi, d)
+	_, carry := bits.Add64(tLo, h1, 0)
+	return tHi + carry
+}
+
+// setIndex maps a line to its set: shift/mask for power-of-two set counts,
+// precomputed-modulus for the rest (the POWER5 L2 has 1536 sets). Both are
+// exact line % nsets.
 func (c *Cache) setIndex(line mem.Line) int {
-	return int(uint64(line) % uint64(len(c.sets)))
+	if c.setPow2 {
+		return int(uint64(line) & c.setMask)
+	}
+	return int(c.setMagic.mod(uint64(line), c.nsets))
 }
 
 // Access looks up line, allocating it on a miss (evicting the set's LRU
@@ -151,8 +231,12 @@ func (c *Cache) setIndex(line mem.Line) int {
 // ORs into the existing dirty bit.
 func (c *Cache) Access(line mem.Line, dirty bool) Result {
 	c.stats.Accesses++
-	s := c.sets[c.setIndex(line)]
-	res := s.access(line, dirty)
+	var res Result
+	if c.lru != nil {
+		res = c.lru.access(c.setIndex(line), line, dirty)
+	} else {
+		res = c.sets[c.setIndex(line)].access(line, dirty)
+	}
 	if res.Hit {
 		c.stats.Hits++
 	} else {
@@ -170,6 +254,9 @@ func (c *Cache) Access(line mem.Line, dirty bool) Result {
 // Probe reports whether line is present without disturbing LRU order or
 // statistics.
 func (c *Cache) Probe(line mem.Line) bool {
+	if c.lru != nil {
+		return c.lru.probe(c.setIndex(line), line)
+	}
 	return c.sets[c.setIndex(line)].probe(line)
 }
 
@@ -178,6 +265,9 @@ func (c *Cache) Probe(line mem.Line) bool {
 // Touch for prefetch-issued lookups it does not want counted as demand
 // accesses.
 func (c *Cache) Touch(line mem.Line) bool {
+	if c.lru != nil {
+		return c.lru.touch(c.setIndex(line), line)
+	}
 	return c.sets[c.setIndex(line)].touch(line)
 }
 
@@ -186,11 +276,19 @@ func (c *Cache) Touch(line mem.Line) bool {
 // victim-cache insertion. If the line is already present its LRU position
 // is refreshed and no eviction happens.
 func (c *Cache) Insert(line mem.Line, dirty bool) Result {
-	s := c.sets[c.setIndex(line)]
-	if s.touch(line) {
-		return Result{Hit: true}
+	var res Result
+	if c.lru != nil {
+		res = c.lru.insert(c.setIndex(line), line, dirty)
+		if res.Hit {
+			return res
+		}
+	} else {
+		s := c.sets[c.setIndex(line)]
+		if s.touch(line) {
+			return Result{Hit: true}
+		}
+		res = s.access(line, dirty)
 	}
-	res := s.access(line, dirty)
 	if res.Evicted {
 		c.stats.Evictions++
 		if res.VictimDirty {
@@ -203,11 +301,17 @@ func (c *Cache) Insert(line mem.Line, dirty bool) Result {
 // Invalidate removes line if present, returning whether it was present and
 // whether it was dirty.
 func (c *Cache) Invalidate(line mem.Line) (present, dirty bool) {
+	if c.lru != nil {
+		return c.lru.invalidate(c.setIndex(line), line)
+	}
 	return c.sets[c.setIndex(line)].invalidate(line)
 }
 
 // Flush empties the cache, leaving statistics intact.
 func (c *Cache) Flush() {
+	if c.lru != nil {
+		c.lru.flush()
+	}
 	for _, s := range c.sets {
 		s.flush()
 	}
@@ -216,15 +320,18 @@ func (c *Cache) Flush() {
 // Len returns the number of valid lines currently held.
 func (c *Cache) Len() int {
 	n := 0
+	if c.lru != nil {
+		n = c.lru.lenTotal()
+	}
 	for _, s := range c.sets {
 		n += s.len()
 	}
 	return n
 }
 
-// set is the per-set replacement state. Two implementations exist: a slice
-// with move-to-front for ordinary associativities, and a map+list for very
-// wide (fully associative) sets where a linear scan would be too slow.
+// set is the per-set replacement state behind the slow path: a map+list
+// for very wide (fully associative) sets where a linear scan would be too
+// slow, and the policy set for non-LRU replacement.
 type set interface {
 	access(line mem.Line, dirty bool) Result
 	probe(line mem.Line) bool
@@ -235,12 +342,6 @@ type set interface {
 }
 
 // wideSetThreshold is the associativity above which the map-based set is
-// used. 64 keeps the common 2/4/10/12-way cases on the fast linear path.
-const wideSetThreshold = 64
-
-func newSet(ways int) set {
-	if ways > wideSetThreshold {
-		return newMapSet(ways)
-	}
-	return &sliceSet{ways: ways}
-}
+// used. 56 (the flat fast path's meta-word limit) keeps the common
+// 2/4/10/12-way cases on the fast linear path.
+const wideSetThreshold = flatMaxWays

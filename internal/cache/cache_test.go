@@ -226,7 +226,7 @@ func TestSetImplementationsAgree(t *testing.T) {
 	f := func(seed int64, ways8 uint8, n uint16) bool {
 		ways := int(ways8%16) + 1
 		r := rand.New(rand.NewSource(seed))
-		a := &sliceSet{ways: ways}
+		a := newSliceSet(ways)
 		b := newMapSet(ways)
 		for i := 0; i < int(n%2000)+10; i++ {
 			line := mem.Line(r.Intn(3 * ways))

@@ -46,24 +46,25 @@ func (p Policy) String() string {
 }
 
 // policySet implements FIFO, Random and MRU for ordinary associativities.
-// For FIFO, lines stays in insertion order; for MRU/Random, lines is kept
-// in recency order like sliceSet but the victim choice differs.
+// For FIFO, entries stay in insertion order; for MRU/Random, entries are
+// kept in recency order like sliceSet but the victim choice differs. Like
+// sliceSet, the entry array is allocated once (len == ways) and the first
+// n slots are valid, so no operation allocates.
 type policySet struct {
 	policy Policy
-	ways   int
-	lines  []mem.Line
-	dirty  []bool
+	n      int
+	ents   []entry
 	rng    *rand.Rand
 }
 
 func newPolicySet(policy Policy, ways int, rng *rand.Rand) *policySet {
-	return &policySet{policy: policy, ways: ways, rng: rng}
+	return &policySet{policy: policy, ents: make([]entry, ways), rng: rng}
 }
 
 // find returns the index of line or -1.
 func (s *policySet) find(line mem.Line) int {
-	for i, l := range s.lines {
-		if l == line {
+	for i := 0; i < s.n; i++ {
+		if s.ents[i].line == line {
 			return i
 		}
 	}
@@ -73,53 +74,47 @@ func (s *policySet) find(line mem.Line) int {
 // moveToFront refreshes recency order (MRU/Random bookkeeping; FIFO keeps
 // insertion order, so hits leave the order untouched).
 func (s *policySet) moveToFront(i int, dirty bool) {
-	d := s.dirty[i] || dirty
-	l := s.lines[i]
-	copy(s.lines[1:i+1], s.lines[:i])
-	copy(s.dirty[1:i+1], s.dirty[:i])
-	s.lines[0] = l
-	s.dirty[0] = d
+	e := entry{line: s.ents[i].line, dirty: s.ents[i].dirty || dirty}
+	copy(s.ents[1:i+1], s.ents[:i])
+	s.ents[0] = e
 }
 
 // victimIndex picks the slot to evict from a full set.
 func (s *policySet) victimIndex() int {
 	switch s.policy {
 	case FIFO:
-		return len(s.lines) - 1 // oldest insertion
+		return s.n - 1 // oldest insertion
 	case Random:
-		return s.rng.Intn(len(s.lines))
+		return s.rng.Intn(s.n)
 	case MRU:
 		return 0 // most recent
 	default:
-		return len(s.lines) - 1
+		return s.n - 1
 	}
 }
 
 func (s *policySet) access(line mem.Line, dirty bool) Result {
 	if i := s.find(line); i >= 0 {
 		if s.policy == FIFO {
-			s.dirty[i] = s.dirty[i] || dirty
+			s.ents[i].dirty = s.ents[i].dirty || dirty
 		} else {
 			s.moveToFront(i, dirty)
 		}
 		return Result{Hit: true}
 	}
 	res := Result{}
-	if len(s.lines) >= s.ways {
+	if s.n >= len(s.ents) {
 		v := s.victimIndex()
 		res.Evicted = true
-		res.Victim = s.lines[v]
-		res.VictimDirty = s.dirty[v]
-		s.lines = append(s.lines[:v], s.lines[v+1:]...)
-		s.dirty = append(s.dirty[:v], s.dirty[v+1:]...)
+		res.Victim = s.ents[v].line
+		res.VictimDirty = s.ents[v].dirty
+		copy(s.ents[v:s.n-1], s.ents[v+1:s.n])
+		s.n--
 	}
 	// Insert at the front (newest).
-	s.lines = append(s.lines, 0)
-	s.dirty = append(s.dirty, false)
-	copy(s.lines[1:], s.lines[:len(s.lines)-1])
-	copy(s.dirty[1:], s.dirty[:len(s.dirty)-1])
-	s.lines[0] = line
-	s.dirty[0] = dirty
+	copy(s.ents[1:s.n+1], s.ents[:s.n])
+	s.ents[0] = entry{line: line, dirty: dirty}
+	s.n++
 	return res
 }
 
@@ -131,7 +126,7 @@ func (s *policySet) touch(line mem.Line) bool {
 		return false
 	}
 	if s.policy != FIFO {
-		s.moveToFront(i, s.dirty[i])
+		s.moveToFront(i, s.ents[i].dirty)
 	}
 	return true
 }
@@ -141,15 +136,12 @@ func (s *policySet) invalidate(line mem.Line) (present, dirty bool) {
 	if i < 0 {
 		return false, false
 	}
-	d := s.dirty[i]
-	s.lines = append(s.lines[:i], s.lines[i+1:]...)
-	s.dirty = append(s.dirty[:i], s.dirty[i+1:]...)
+	d := s.ents[i].dirty
+	copy(s.ents[i:s.n-1], s.ents[i+1:s.n])
+	s.n--
 	return true, d
 }
 
-func (s *policySet) flush() {
-	s.lines = s.lines[:0]
-	s.dirty = s.dirty[:0]
-}
+func (s *policySet) flush() { s.n = 0 }
 
-func (s *policySet) len() int { return len(s.lines) }
+func (s *policySet) len() int { return s.n }

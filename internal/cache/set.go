@@ -2,87 +2,242 @@ package cache
 
 import "rapidmrc/internal/mem"
 
-// sliceSet keeps ways in MRU→LRU order in a slice. Lookup and
-// move-to-front are O(ways), which beats pointer chasing for the small
-// associativities real caches use.
-type sliceSet struct {
-	ways  int
-	lines []mem.Line
-	dirty []bool
+// entry is one cached line plus its dirty bit, the node type of the
+// policy sets (policy.go).
+type entry struct {
+	line  mem.Line
+	dirty bool
 }
 
-func (s *sliceSet) access(line mem.Line, dirty bool) Result {
-	for i, l := range s.lines {
-		if l == line {
-			d := s.dirty[i] || dirty
-			copy(s.lines[1:i+1], s.lines[:i])
-			copy(s.dirty[1:i+1], s.dirty[:i])
-			s.lines[0] = line
-			s.dirty[0] = d
+// Meta-word encoding of the flat LRU fast path: the low byte is the
+// valid-line count, the remaining bits are a per-position dirty bitmask.
+const (
+	metaN     = 0xff
+	dirtyBit0 = uint64(1) << 8
+)
+
+// metaInsertFront rewrites the dirty bitmask of meta for a move-to-front
+// of position i: bits [0, i) shift up one and d lands at position 0. The
+// count byte is preserved.
+func metaInsertFront(meta uint64, i int, d bool) uint64 {
+	mask := meta >> 8
+	low := mask & (1<<i - 1)
+	mask = mask&^(1<<(i+1)-1) | low<<1
+	if d {
+		mask |= 1
+	}
+	return meta&metaN | mask<<8
+}
+
+// metaRemove rewrites the dirty bitmask of meta for removal of position
+// i: bits above it shift down one. The count byte is preserved.
+func metaRemove(meta uint64, i int) uint64 {
+	mask := meta >> 8
+	low := mask & (1<<i - 1)
+	mask = mask>>1&^(1<<i-1) | low
+	return meta&metaN | mask<<8
+}
+
+// flatLRU is the storage of the LRU fast path: every set lives in ways+1
+// consecutive uint64 words of one flat array — a meta word (valid count
+// plus dirty bitmask) followed by the line addresses in MRU→LRU order.
+// Against a per-set header holding a slice, this removes the dependent
+// pointer chase on every set visit: the host fetches one sequential run
+// of words, which is what bounds a partition sweep holding dozens of
+// megabytes of simulated cache state. Lookup and move-to-front are
+// O(ways), which beats pointer chasing for the small associativities
+// real caches use, and no operation allocates. The meta encoding caps
+// the fast path at 56 ways; wider LRU caches use mapSet.
+type flatLRU struct {
+	ways   int
+	stride int
+	words  []uint64
+}
+
+// flatMaxWays is the widest set the meta word can describe.
+const flatMaxWays = 56
+
+func newFlatLRU(nsets, ways int) *flatLRU {
+	if ways > flatMaxWays {
+		panic("cache: flatLRU supports at most 56 ways")
+	}
+	return &flatLRU{ways: ways, stride: ways + 1, words: make([]uint64, nsets*(ways+1))}
+}
+
+// setWords returns the meta+lines window of one set.
+func (f *flatLRU) setWords(set int) []uint64 {
+	b := set * f.stride
+	return f.words[b : b+f.stride : b+f.stride]
+}
+
+func (f *flatLRU) access(set int, line mem.Line, dirty bool) Result {
+	w := f.setWords(set)
+	meta := w[0]
+	n := int(meta & metaN)
+	l := uint64(line)
+	// Hit on the MRU line needs no reordering — only a possible dirty-bit
+	// set — and it is the overwhelmingly common hit position.
+	if n > 0 && w[1] == l {
+		if dirty {
+			w[0] = meta | dirtyBit0
+		}
+		return Result{Hit: true}
+	}
+	lines := w[1 : 1+n]
+	for i := 1; i < n; i++ {
+		if lines[i] == l {
+			d := dirty || meta&(dirtyBit0<<i) != 0
+			copy(lines[1:i+1], lines[:i])
+			lines[0] = l
+			w[0] = metaInsertFront(meta, i, d)
 			return Result{Hit: true}
 		}
 	}
 	// Miss: allocate at MRU, evicting the LRU entry if full.
-	if len(s.lines) < s.ways {
-		s.lines = append(s.lines, 0)
-		s.dirty = append(s.dirty, false)
-		copy(s.lines[1:], s.lines[:len(s.lines)-1])
-		copy(s.dirty[1:], s.dirty[:len(s.dirty)-1])
-		s.lines[0] = line
-		s.dirty[0] = dirty
+	if n < f.ways {
+		copy(w[2:2+n], w[1:1+n])
+		w[1] = l
+		w[0] = metaInsertFront(meta, n, dirty) + 1
 		return Result{}
 	}
-	n := len(s.lines)
-	victim := s.lines[n-1]
-	victimDirty := s.dirty[n-1]
-	copy(s.lines[1:], s.lines[:n-1])
-	copy(s.dirty[1:], s.dirty[:n-1])
-	s.lines[0] = line
-	s.dirty[0] = dirty
+	victim := mem.Line(w[n])
+	victimDirty := meta&(dirtyBit0<<(n-1)) != 0
+	copy(w[2:1+n], w[1:n])
+	w[1] = l
+	w[0] = metaInsertFront(meta, n-1, dirty)
 	return Result{Evicted: true, Victim: victim, VictimDirty: victimDirty}
 }
 
-func (s *sliceSet) probe(line mem.Line) bool {
-	for _, l := range s.lines {
-		if l == line {
+func (f *flatLRU) probe(set int, line mem.Line) bool {
+	w := f.setWords(set)
+	n := int(w[0] & metaN)
+	l := uint64(line)
+	lines := w[1 : 1+n]
+	for i := range lines {
+		if lines[i] == l {
 			return true
 		}
 	}
 	return false
 }
 
-func (s *sliceSet) touch(line mem.Line) bool {
-	for i, l := range s.lines {
-		if l == line {
-			d := s.dirty[i]
-			copy(s.lines[1:i+1], s.lines[:i])
-			copy(s.dirty[1:i+1], s.dirty[:i])
-			s.lines[0] = line
-			s.dirty[0] = d
+func (f *flatLRU) touch(set int, line mem.Line) bool {
+	w := f.setWords(set)
+	meta := w[0]
+	n := int(meta & metaN)
+	l := uint64(line)
+	if n > 0 && w[1] == l {
+		return true
+	}
+	lines := w[1 : 1+n]
+	for i := 1; i < n; i++ {
+		if lines[i] == l {
+			d := meta&(dirtyBit0<<i) != 0
+			copy(lines[1:i+1], lines[:i])
+			lines[0] = l
+			w[0] = metaInsertFront(meta, i, d)
 			return true
 		}
 	}
 	return false
 }
 
-func (s *sliceSet) invalidate(line mem.Line) (present, dirty bool) {
-	for i, l := range s.lines {
-		if l == line {
-			d := s.dirty[i]
-			s.lines = append(s.lines[:i], s.lines[i+1:]...)
-			s.dirty = append(s.dirty[:i], s.dirty[i+1:]...)
+// insert is Cache.Insert's one-scan fast path: a present line is
+// refreshed keeping its dirty bit (exactly touch), an absent one is
+// allocated (exactly access), without scanning the set twice.
+func (f *flatLRU) insert(set int, line mem.Line, dirty bool) Result {
+	w := f.setWords(set)
+	meta := w[0]
+	n := int(meta & metaN)
+	l := uint64(line)
+	if n > 0 && w[1] == l {
+		return Result{Hit: true}
+	}
+	lines := w[1 : 1+n]
+	for i := 1; i < n; i++ {
+		if lines[i] == l {
+			d := meta&(dirtyBit0<<i) != 0
+			copy(lines[1:i+1], lines[:i])
+			lines[0] = l
+			w[0] = metaInsertFront(meta, i, d)
+			return Result{Hit: true}
+		}
+	}
+	if n < f.ways {
+		copy(w[2:2+n], w[1:1+n])
+		w[1] = l
+		w[0] = metaInsertFront(meta, n, dirty) + 1
+		return Result{}
+	}
+	victim := mem.Line(w[n])
+	victimDirty := meta&(dirtyBit0<<(n-1)) != 0
+	copy(w[2:1+n], w[1:n])
+	w[1] = l
+	w[0] = metaInsertFront(meta, n-1, dirty)
+	return Result{Evicted: true, Victim: victim, VictimDirty: victimDirty}
+}
+
+func (f *flatLRU) invalidate(set int, line mem.Line) (present, dirty bool) {
+	w := f.setWords(set)
+	meta := w[0]
+	n := int(meta & metaN)
+	l := uint64(line)
+	lines := w[1 : 1+n]
+	for i := range lines {
+		if lines[i] == l {
+			d := meta&(dirtyBit0<<i) != 0
+			copy(lines[i:n-1], lines[i+1:n])
+			w[0] = metaRemove(meta, i) - 1
 			return true, d
 		}
 	}
 	return false, false
 }
 
-func (s *sliceSet) flush() {
-	s.lines = s.lines[:0]
-	s.dirty = s.dirty[:0]
+// flush empties every set (line words are left stale; the count bytes
+// make them unreachable).
+func (f *flatLRU) flush() {
+	for i := 0; i < len(f.words); i += f.stride {
+		f.words[i] = 0
+	}
 }
 
-func (s *sliceSet) len() int { return len(s.lines) }
+// lenTotal returns the number of valid lines across all sets.
+func (f *flatLRU) lenTotal() int {
+	n := 0
+	for i := 0; i < len(f.words); i += f.stride {
+		n += int(f.words[i] & metaN)
+	}
+	return n
+}
+
+// sliceSet adapts a single flatLRU set to the set interface — the
+// standalone narrow-LRU set used by tests and by callers outside the
+// cache fast path.
+type sliceSet struct {
+	f *flatLRU
+}
+
+// newSliceSet returns a standalone narrow LRU set.
+func newSliceSet(ways int) *sliceSet {
+	return &sliceSet{f: newFlatLRU(1, ways)}
+}
+
+func (s *sliceSet) access(line mem.Line, dirty bool) Result {
+	return s.f.access(0, line, dirty)
+}
+
+func (s *sliceSet) probe(line mem.Line) bool { return s.f.probe(0, line) }
+
+func (s *sliceSet) touch(line mem.Line) bool { return s.f.touch(0, line) }
+
+func (s *sliceSet) invalidate(line mem.Line) (present, dirty bool) {
+	return s.f.invalidate(0, line)
+}
+
+func (s *sliceSet) flush() { s.f.flush() }
+
+func (s *sliceSet) len() int { return s.f.lenTotal() }
 
 // mapSet implements a wide (e.g. fully associative) set as a hash map plus
 // an intrusive doubly-linked LRU list, giving O(1) operations.

@@ -99,11 +99,21 @@ func (a *Allocator) Alloc(g int) mem.PhysPage {
 	return mem.PhysPage(seq*PageGroups + uint64(g))
 }
 
+// tlbSize is the number of entries in the Mapper's direct-mapped
+// translation cache (power of two). 1024 pages cover 4 MB of virtual
+// address space, enough that the hot loops of every bundled workload hit
+// almost always.
+const tlbSize = 1024
+
 // Mapper allocates physical pages for virtual pages under a color
 // constraint, performing the OS's virtual→physical translation for the
 // simulated machine. Pages are allocated on first touch, round-robin over
 // the page groups of the allowed colors so an application spreads evenly
 // across its partition.
+//
+// PhysLine translations run through a small direct-mapped software TLB in
+// front of the page table map: a pure memoization of Translate, flushed on
+// Repartition when mappings change, so it can never alter results.
 //
 // A Mapper is not safe for concurrent use.
 type Mapper struct {
@@ -114,6 +124,10 @@ type Mapper struct {
 	rrGroups []int
 	rrPos    int
 	migrated uint64
+
+	tlbPage  [tlbSize]mem.Page
+	tlbPhys  [tlbSize]mem.PhysPage
+	tlbValid [tlbSize]bool
 }
 
 // NewMapper returns a Mapper constrained to the given colors, with a
@@ -176,10 +190,23 @@ func (m *Mapper) Translate(p mem.Page) mem.PhysPage {
 }
 
 // PhysLine translates a virtual line address to the physical line address
-// the caches below the L1 are indexed by.
+// the caches below the L1 are indexed by. This is the simulator's hottest
+// translation: it consults the TLB before falling back to the page table.
 func (m *Mapper) PhysLine(l mem.Line) mem.Line {
-	pp := m.Translate(mem.PageOfLine(l))
+	p := mem.PageOfLine(l)
+	i := int(uint64(p) & (tlbSize - 1))
+	pp := m.tlbPhys[i]
+	if !m.tlbValid[i] || m.tlbPage[i] != p {
+		pp = m.Translate(p)
+		m.tlbPage[i], m.tlbPhys[i], m.tlbValid[i] = p, pp, true
+	}
 	return mem.Line(uint64(pp)*mem.LinesPerPage + uint64(mem.LineInPage(l)))
+}
+
+// flushTLB drops every cached translation; required whenever existing
+// table entries change.
+func (m *Mapper) flushTLB() {
+	m.tlbValid = [tlbSize]bool{}
 }
 
 // Repartition changes the allowed colors and migrates every mapped page
@@ -191,6 +218,7 @@ func (m *Mapper) Repartition(allowed Set) (moved int, cycles uint64) {
 		panic("color: empty color set")
 	}
 	m.setAllowed(allowed)
+	m.flushTLB()
 	for vp, pp := range m.table {
 		if allowed.Has(OfPhysPage(pp)) {
 			continue

@@ -110,3 +110,28 @@ type Generator interface {
 	// Reset restarts the stream from the beginning with the given seed.
 	Reset(seed int64)
 }
+
+// BatchGenerator is the bulk extension of Generator: NextBatch fills buf
+// with the next references of the stream and returns how many it wrote.
+// The refs are exactly those len(buf) consecutive Next calls would return
+// — a batch is a transport optimization, never a different stream. A
+// short return (n < len(buf)) is allowed only when the stream ends; the
+// bundled synthetic workloads are infinite and always fill the buffer.
+type BatchGenerator interface {
+	Generator
+	NextBatch(buf []Ref) int
+}
+
+// ReadBatch fills buf from g, using the bulk path when g implements
+// BatchGenerator and falling back to per-ref Next calls for legacy
+// generators. It returns the number of refs written (len(buf) unless the
+// stream ends).
+func ReadBatch(g Generator, buf []Ref) int {
+	if bg, ok := g.(BatchGenerator); ok {
+		return bg.NextBatch(buf)
+	}
+	for i := range buf {
+		buf[i] = g.Next()
+	}
+	return len(buf)
+}

@@ -65,7 +65,18 @@ type Machine struct {
 	// is incorporated into the measured curves).
 	logNext    mem.Line
 	logPending int
+
+	// Reference batching: Step pulls refs from this buffer, refilled in
+	// bulk via mem.ReadBatch, so the per-reference generator interface
+	// dispatch is paid once per refBatch refs. The generator may therefore
+	// run up to refBatch refs ahead of the machine; the ref sequence the
+	// machine consumes is unchanged.
+	refBuf         []mem.Ref
+	refPos, refLen int
 }
+
+// refBatch is the machine's generator read-ahead, in refs.
+const refBatch = 256
 
 // logRegionBase places the trace log far above any workload region.
 const logRegionBase mem.Line = 1 << 40
@@ -109,7 +120,10 @@ func NewMachine(gen mem.Generator, opt Options) *Machine {
 	}
 }
 
-// Generator returns the workload driving this machine.
+// Generator returns the workload driving this machine. Note that the
+// machine reads the generator in batches, so its internal position may be
+// up to refBatch refs ahead of the machine's own progress; callers must
+// not step or reset it directly.
 func (m *Machine) Generator() mem.Generator { return m.gen }
 
 // Core exposes the execution core (read-only use intended).
@@ -127,10 +141,72 @@ func (m *Machine) L2() *cache.Cache { return m.l2 }
 // Prefetcher returns the machine's stream prefetcher.
 func (m *Machine) Prefetcher() *prefetch.Prefetcher { return m.pf }
 
+// nextRef returns the next reference of the machine's own workload,
+// refilling the read-ahead buffer in bulk when it runs dry.
+func (m *Machine) nextRef() mem.Ref {
+	if m.refPos >= m.refLen {
+		if m.refBuf == nil {
+			m.refBuf = make([]mem.Ref, refBatch)
+		}
+		m.refLen = mem.ReadBatch(m.gen, m.refBuf)
+		m.refPos = 0
+	}
+	r := m.refBuf[m.refPos]
+	m.refPos++
+	return r
+}
+
 // Step executes one memory reference and the non-memory instructions
 // preceding it.
-func (m *Machine) Step() {
-	ref := m.gen.Next()
+func (m *Machine) Step() { m.StepRef(m.nextRef()) }
+
+// StepRefs executes a slice of references in order — the bulk entry point
+// of the shared-stream partition sweeps, which generate the reference
+// stream once and replay each chunk through every machine.
+func (m *Machine) StepRefs(refs []mem.Ref) {
+	for _, r := range refs {
+		m.StepRef(r)
+	}
+}
+
+// StepRefsSharedL1 executes a slice of references whose L1-D outcomes
+// were precomputed (l1Hits[i] is the hit/touch-hit result of refs[i]).
+//
+// The L1-D is virtually indexed and virtually tagged, is never reached by
+// physical-side events (there is no inclusion invalidation from the L2),
+// and its replacement state depends only on the reference stream — so its
+// hit/miss sequence is one more shared function of the stream, exactly
+// like the stream itself. The partition sweep exploits that: one leader
+// L1 simulation per chunk (see sweep.go), and every machine consumes the
+// outcomes. The machine's own L1 cache is left untouched; its PMU, core
+// timing, translation, L2, and L3 behave bit-identically to StepRef.
+func (m *Machine) StepRefsSharedL1(refs []mem.Ref, l1Hits []bool) {
+	for i, r := range refs {
+		m.core.Advance(uint64(r.Gap) + 1)
+		vline := mem.LineOf(r.Addr)
+		switch r.Kind {
+		case mem.Load:
+			if l1Hits[i] {
+				continue
+			}
+			pline := m.mapper.PhysLine(vline)
+			m.onL1DMiss(pline)
+			m.l2Demand(pline, false, true, true)
+		case mem.Store:
+			pline := m.mapper.PhysLine(vline)
+			if !l1Hits[i] {
+				m.onL1DMiss(pline)
+			}
+			m.l2Demand(pline, true, false, false)
+		}
+	}
+}
+
+// StepRef executes one externally supplied memory reference and the
+// non-memory instructions preceding it. A machine driven by StepRef must
+// not also be driven by Step/RunRefs/RunInstructions: those consume the
+// machine's own generator, and mixing the two interleaves streams.
+func (m *Machine) StepRef(ref mem.Ref) {
 	m.core.Advance(uint64(ref.Gap) + 1)
 
 	vline := mem.LineOf(ref.Addr)

@@ -31,6 +31,13 @@ type RealMRCConfig struct {
 	// n > 1 uses a pool of n. Goroutine count is bounded by the pool
 	// size, never by MaxColors.
 	Workers int
+	// PerMachine forces the legacy strategy of running one full
+	// simulation per partition size, each regenerating the reference
+	// stream. The default (false) is the shared-stream fan-out, which
+	// generates every chunk of the stream once and replays it through all
+	// partition-size machines — bit-identical results (property-tested),
+	// one generator pass instead of MaxColors.
+	PerMachine bool
 }
 
 // DefaultRealMRCConfig returns the settings used throughout the
@@ -47,10 +54,27 @@ func DefaultRealMRCConfig() RealMRCConfig {
 	}
 }
 
-// RealMRC measures the real MRC of an application by running it
-// cfg.MaxColors times, each confined to 1..MaxColors colors, and
-// returns MPKI per size (index 0 = one color).
+// RealMRC measures the real MRC of an application across partition sizes
+// 1..MaxColors and returns MPKI per size (index 0 = one color). By default
+// the sizes share one generated reference stream (see sweep.go); set
+// cfg.PerMachine to run each size as its own full simulation. Both
+// strategies produce bit-identical curves.
 func RealMRC(app workload.Config, cfg RealMRCConfig) []float64 {
+	if cfg.MaxColors == 0 {
+		cfg.MaxColors = color.NumColors
+	}
+	if cfg.PerMachine {
+		return RealMRCPerMachine(app, cfg)
+	}
+	return realMRCShared(app, cfg)
+}
+
+// RealMRCPerMachine is the one-simulation-per-partition-size strategy:
+// cfg.MaxColors machines on the worker pool, each regenerating the full
+// reference stream. It is the reference implementation the shared-stream
+// sweep is property-tested against, and the pre-fan-out baseline the
+// BenchmarkRealMRCSweep speedup is measured from.
+func RealMRCPerMachine(app workload.Config, cfg RealMRCConfig) []float64 {
 	if cfg.MaxColors == 0 {
 		cfg.MaxColors = color.NumColors
 	}
@@ -110,9 +134,23 @@ func IntervalMetrics(app workload.Config, colors int, intervals int, intervalIns
 	return out
 }
 
-// MissRateTimelines measures timelines for every partition size on the
-// bounded pool (Figure 2a plots all 16).
+// MissRateTimelines measures timelines for every partition size (Figure 2a
+// plots all 16). Like RealMRC it defaults to the shared-stream fan-out;
+// cfg.PerMachine selects one independent run per size on the bounded pool.
 func MissRateTimelines(app workload.Config, intervals int, intervalInstr uint64, cfg RealMRCConfig) [][]float64 {
+	if cfg.MaxColors == 0 {
+		cfg.MaxColors = color.NumColors
+	}
+	if cfg.PerMachine {
+		return MissRateTimelinesPerMachine(app, intervals, intervalInstr, cfg)
+	}
+	return missRateTimelinesShared(app, intervals, intervalInstr, cfg)
+}
+
+// MissRateTimelinesPerMachine runs one independent timeline measurement
+// per partition size on the bounded pool — the reference implementation
+// for the shared-stream equivalence property test.
+func MissRateTimelinesPerMachine(app workload.Config, intervals int, intervalInstr uint64, cfg RealMRCConfig) [][]float64 {
 	if cfg.MaxColors == 0 {
 		cfg.MaxColors = color.NumColors
 	}

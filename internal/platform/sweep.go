@@ -1,0 +1,161 @@
+package platform
+
+import (
+	"rapidmrc/internal/cache"
+	"rapidmrc/internal/color"
+	"rapidmrc/internal/mem"
+	"rapidmrc/internal/runner"
+	"rapidmrc/internal/workload"
+)
+
+// The shared-stream sweep: the exhaustive measurements of §5.2.1 run the
+// *identical* deterministic reference stream once per partition size —
+// sixteen full simulations per application, fifteen of which regenerate a
+// stream that was already computed. The fan-out replay below generates
+// each chunk of the stream once and steps every partition-size machine
+// over it. Per-machine state (caches, mapper, PMU randomness, timing)
+// stays fully independent, and because each machine sees exactly the refs
+// its private generator would have produced, the results are bit-identical
+// to the per-machine runs (property-tested in sweep_test.go).
+
+// sweepChunk is the number of refs generated per fan-out round. Large
+// enough to amortize the per-chunk worker-pool dispatch over tens of
+// thousands of machine steps, small enough to stay cache-resident.
+const sweepChunk = 1 << 20
+
+// sharedSweep replays one generator's stream through a set of machines.
+type sharedSweep struct {
+	gen     mem.Generator
+	ms      []*Machine
+	workers int
+
+	// l1 is the leader L1-D simulation: the L1 is virtually indexed and
+	// untouched by physical-side events, so its hit/miss outcomes are a
+	// shared function of the stream, computed once per chunk into hits
+	// and consumed by every machine (Machine.StepRefsSharedL1).
+	l1   *cache.Cache
+	hits []bool
+
+	buf    []mem.Ref
+	pos, n int
+	// instr is the instruction count every machine has reached: machines
+	// advance by Gap+1 instructions per ref and all consume the same
+	// stream, so one counter stands for all of them.
+	instr uint64
+}
+
+func newSharedSweep(gen mem.Generator, ms []*Machine, workers int) *sharedSweep {
+	return &sharedSweep{
+		gen:     gen,
+		ms:      ms,
+		workers: workers,
+		l1:      cache.New(Power5().L1D),
+		hits:    make([]bool, sweepChunk),
+		buf:     make([]mem.Ref, sweepChunk),
+	}
+}
+
+// l1Outcomes runs the leader L1 over one chunk, recording each ref's
+// outcome: Access hit for loads, Touch hit for stores (the store-through
+// no-allocate L1 of Machine.StepRef).
+func (s *sharedSweep) l1Outcomes(refs []mem.Ref, hits []bool) {
+	for i, r := range refs {
+		vline := mem.LineOf(r.Addr)
+		switch r.Kind {
+		case mem.Load:
+			hits[i] = s.l1.Access(vline, false).Hit
+		case mem.Store:
+			hits[i] = s.l1.Touch(vline)
+		}
+	}
+}
+
+// runUntil advances every machine to at least target instructions — the
+// same stopping rule as Machine.RunInstructions, so the machines consume
+// exactly the refs their own RunInstructions calls would have.
+func (s *sharedSweep) runUntil(target uint64) {
+	for s.instr < target {
+		if s.pos >= s.n {
+			s.n = mem.ReadBatch(s.gen, s.buf)
+			s.pos = 0
+		}
+		// The largest prefix of buffered refs every machine still steps:
+		// a machine steps a ref iff its instruction count is below the
+		// target before consuming it.
+		e := s.pos
+		for e < s.n && s.instr < target {
+			s.instr += uint64(s.buf[e].Gap) + 1
+			e++
+		}
+		chunk := s.buf[s.pos:e]
+		hits := s.hits[s.pos:e]
+		s.l1Outcomes(chunk, hits)
+		s.pos = e
+		runner.All(s.workers, len(s.ms), func(k int) {
+			s.ms[k].StepRefsSharedL1(chunk, hits)
+		})
+	}
+}
+
+// resetMetrics starts a new measurement interval on every machine.
+func (s *sharedSweep) resetMetrics() {
+	for _, m := range s.ms {
+		m.ResetMetrics()
+	}
+}
+
+// newSweepMachines builds one machine per partition size 1..n, all wired
+// to the shared generator (which only the sweep driver steps).
+func newSweepMachines(gen mem.Generator, n int, cfg RealMRCConfig) []*Machine {
+	ms := make([]*Machine, n)
+	for k := range ms {
+		ms[k] = NewMachine(gen, Options{
+			Mode:      cfg.Mode,
+			Colors:    color.First(k + 1),
+			L3Enabled: cfg.L3Enabled,
+			Seed:      cfg.Seed,
+		})
+	}
+	return ms
+}
+
+// realMRCShared measures the real MRC with the shared-stream fan-out:
+// one generator pass, cfg.MaxColors machines.
+func realMRCShared(app workload.Config, cfg RealMRCConfig) []float64 {
+	gen := workload.New(app, cfg.Seed)
+	ms := newSweepMachines(gen, cfg.MaxColors, cfg)
+	sw := newSharedSweep(gen, ms, cfg.Workers)
+	if cfg.SkipInstructions > 0 {
+		sw.runUntil(cfg.SkipInstructions)
+	}
+	sw.resetMetrics()
+	sw.runUntil(sw.instr + cfg.SliceInstructions)
+
+	mpki := make([]float64, len(ms))
+	for k, m := range ms {
+		mpki[k] = m.Metrics().MPKI()
+	}
+	return mpki
+}
+
+// missRateTimelinesShared measures per-size miss-rate timelines with the
+// shared-stream fan-out: the interval boundaries land on the same refs as
+// MissRateTimeline's per-machine RunInstructions calls.
+func missRateTimelinesShared(app workload.Config, intervals int, intervalInstr uint64, cfg RealMRCConfig) [][]float64 {
+	gen := workload.New(app, cfg.Seed)
+	ms := newSweepMachines(gen, cfg.MaxColors, cfg)
+	sw := newSharedSweep(gen, ms, cfg.Workers)
+
+	out := make([][]float64, len(ms))
+	for i := range out {
+		out[i] = make([]float64, intervals)
+	}
+	for j := 0; j < intervals; j++ {
+		sw.resetMetrics()
+		sw.runUntil(sw.instr + intervalInstr)
+		for k, m := range ms {
+			out[k][j] = m.Metrics().MPKI()
+		}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package platform
+
+import (
+	"reflect"
+	"testing"
+
+	"rapidmrc/internal/cpu"
+	"rapidmrc/internal/mem"
+	"rapidmrc/internal/workload"
+)
+
+// sweepTestConfig shrinks the default RealMRC run so the equivalence
+// sweeps stay fast while still crossing the skip/measure boundary.
+func sweepTestConfig(seed int64) RealMRCConfig {
+	cfg := DefaultRealMRCConfig()
+	cfg.Seed = seed
+	cfg.SkipInstructions = 120_000
+	cfg.SliceInstructions = 80_000
+	cfg.Workers = 1
+	return cfg
+}
+
+// TestRealMRCSharedMatchesPerMachine is the tentpole equivalence property:
+// the shared-stream fan-out (one generator pass, leader L1, all
+// partition-size machines stepping the same chunks) must reproduce the
+// legacy one-simulation-per-size curves element for element — not within a
+// tolerance, bit-identical.
+func TestRealMRCSharedMatchesPerMachine(t *testing.T) {
+	apps := []string{"mcf", "swim", "libquantum", "twolf"}
+	seeds := []int64{1, 7}
+	if testing.Short() {
+		apps = apps[:2]
+		seeds = seeds[:1]
+	}
+	for _, name := range apps {
+		for _, seed := range seeds {
+			cfg := sweepTestConfig(seed)
+			app := workload.MustByName(name)
+
+			cfg.PerMachine = true
+			want := RealMRC(app, cfg)
+			cfg.PerMachine = false
+			got := RealMRC(app, cfg)
+
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s seed %d: shared sweep diverges from per-machine:\n got %v\nwant %v",
+					name, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestRealMRCSharedMatchesPerMachineSimplified covers the simplified
+// (single-issue, in-order, no-prefetch) mode and the L3-less hierarchy,
+// both of which change which physical-side events fire.
+func TestRealMRCSharedMatchesPerMachineSimplified(t *testing.T) {
+	cfg := sweepTestConfig(3)
+	cfg.Mode = cpu.Simplified
+	cfg.L3Enabled = false
+	app := workload.MustByName("equake")
+
+	cfg.PerMachine = true
+	want := RealMRC(app, cfg)
+	cfg.PerMachine = false
+	got := RealMRC(app, cfg)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("simplified mode: shared sweep diverges:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestMissRateTimelinesSharedMatchesPerMachine pins the interval-boundary
+// alignment: resetMetrics/runUntil must cut the stream at exactly the refs
+// the per-machine RunInstructions calls would.
+func TestMissRateTimelinesSharedMatchesPerMachine(t *testing.T) {
+	cfg := sweepTestConfig(5)
+	app := workload.MustByName("art")
+	const intervals, intervalInstr = 6, 30_000
+
+	cfg.PerMachine = true
+	want := MissRateTimelines(app, intervals, intervalInstr, cfg)
+	cfg.PerMachine = false
+	got := MissRateTimelines(app, intervals, intervalInstr, cfg)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("timelines diverge:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestSharedSweepPooledMatchesSerial runs the shared fan-out with a worker
+// pool and serially; per-machine state is independent, so the schedule
+// must not matter.
+func TestSharedSweepPooledMatchesSerial(t *testing.T) {
+	app := workload.MustByName("gzip")
+	serial := sweepTestConfig(2)
+	want := RealMRC(app, serial)
+	pooled := sweepTestConfig(2)
+	pooled.Workers = 4
+	got := RealMRC(app, pooled)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("pooled shared sweep diverges from serial:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestStepRefsSharedL1MatchesStepRefs checks the leader-L1 replay at the
+// machine level: feeding precomputed L1 outcomes must leave the
+// architectural metrics and a captured trace identical to the machine
+// simulating its own L1 — the L1-D is virtually indexed and untouched by
+// physical-side events, so its outcomes are a pure function of the stream.
+func TestStepRefsSharedL1MatchesStepRefs(t *testing.T) {
+	app := workload.MustByName("mcf")
+	opts := Options{Mode: cpu.Complex, L3Enabled: true, Seed: 9}
+
+	own := NewMachine(workload.New(app, 9), opts)
+	shared := NewMachine(workload.New(app, 9), opts)
+
+	gen := workload.New(app, 9)
+	leader := newSharedSweep(gen, []*Machine{shared}, 1)
+
+	const chunk = 2048
+	refs := make([]mem.Ref, chunk)
+	hits := make([]bool, chunk)
+	for round := 0; round < 40; round++ {
+		mem.ReadBatch(gen, refs)
+		leader.l1Outcomes(refs, hits)
+		own.StepRefs(refs)
+		shared.StepRefsSharedL1(refs, hits)
+	}
+	if own.Metrics() != shared.Metrics() {
+		t.Fatalf("metrics diverge:\n own    %+v\n shared %+v", own.Metrics(), shared.Metrics())
+	}
+
+	// The PMU capture must agree too: trace content depends on the PMU rng
+	// position (advanced on overlapped misses), so arm both PMUs and keep
+	// driving each machine through its own path. (CollectTrace itself is
+	// self-driven and would touch the shared machine's deliberately cold
+	// private L1, which is why the sweep never mixes the two drivers.)
+	own.PMU().StartTrace(2000, own.Core().Instructions(), own.Core().Cycles())
+	shared.PMU().StartTrace(2000, shared.Core().Instructions(), shared.Core().Cycles())
+	for !own.PMU().TraceFull() {
+		mem.ReadBatch(gen, refs)
+		leader.l1Outcomes(refs, hits)
+		own.StepRefs(refs)
+		shared.StepRefsSharedL1(refs, hits)
+	}
+	linesOwn, statsOwn := own.PMU().FinishTrace(own.Core().Instructions(), own.Core().Cycles())
+	linesShared, statsShared := shared.PMU().FinishTrace(shared.Core().Instructions(), shared.Core().Cycles())
+	if !reflect.DeepEqual(linesOwn, linesShared) {
+		t.Fatalf("captured traces diverge: %d vs %d lines", len(linesOwn), len(linesShared))
+	}
+	if statsOwn != statsShared {
+		t.Fatalf("capture stats diverge:\n own    %+v\n shared %+v", statsOwn, statsShared)
+	}
+}
+
+// TestRunRefsBatchedMatchesLegacyGenerator pins the batched read-ahead
+// transport: a machine reading through NextBatch and one reading through a
+// legacy per-ref generator must be indistinguishable in both metrics and
+// captured trace.
+func TestRunRefsBatchedMatchesLegacyGenerator(t *testing.T) {
+	app := workload.MustByName("twolf")
+	opts := Options{Mode: cpu.Complex, L3Enabled: true, Seed: 4}
+
+	batched := NewMachine(workload.New(app, 4), opts)
+	legacy := NewMachine(perRefOnly{workload.New(app, 4)}, opts)
+
+	batched.RunRefs(150_000)
+	legacy.RunRefs(150_000)
+	if batched.Metrics() != legacy.Metrics() {
+		t.Fatalf("metrics diverge:\n batched %+v\n legacy  %+v", batched.Metrics(), legacy.Metrics())
+	}
+	capB := batched.CollectTrace(3000)
+	capL := legacy.CollectTrace(3000)
+	if !reflect.DeepEqual(capB.Lines, capL.Lines) {
+		t.Fatalf("captured traces diverge")
+	}
+}
+
+// perRefOnly strips the BatchGenerator extension so mem.ReadBatch falls
+// back to per-ref Next calls.
+type perRefOnly struct{ g mem.Generator }
+
+func (p perRefOnly) Next() mem.Ref    { return p.g.Next() }
+func (p perRefOnly) Name() string     { return p.g.Name() }
+func (p perRefOnly) Reset(seed int64) { p.g.Reset(seed) }

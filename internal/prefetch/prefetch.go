@@ -43,10 +43,18 @@ type stream struct {
 	valid     bool
 }
 
+// noStream is the nexts-mirror sentinel for an invalid stream. No demand
+// access can carry this line (it would be an address beyond 2^70).
+const noStream = ^mem.Line(0)
+
 // Prefetcher detects ascending line streams from the demand access
 // sequence. It is not safe for concurrent use.
 type Prefetcher struct {
 	enabled bool
+	// nexts mirrors streams[i].next (noStream when invalid) in one densely
+	// packed array, so the per-access stream-match scan reads a single
+	// cache line instead of walking the stream structs.
+	nexts   [Streams]mem.Line
 	streams [Streams]stream
 	recent  [candidates]mem.Line
 	rpos    int
@@ -58,7 +66,11 @@ type Prefetcher struct {
 // New returns a prefetcher. A disabled prefetcher observes everything and
 // issues nothing, so callers need no mode checks.
 func New(enabled bool) *Prefetcher {
-	return &Prefetcher{enabled: enabled, buf: make([]mem.Line, 0, MaxDepth)}
+	p := &Prefetcher{enabled: enabled, buf: make([]mem.Line, 0, MaxDepth)}
+	for i := range p.nexts {
+		p.nexts[i] = noStream
+	}
+	return p
 }
 
 // Enabled reports whether the prefetcher issues requests.
@@ -85,21 +97,23 @@ func (p *Prefetcher) Observe(line mem.Line) []mem.Line {
 	p.clock++
 
 	// Does the access advance an existing stream?
-	for i := range p.streams {
-		s := &p.streams[i]
-		if !s.valid || line != s.next {
+	for i := range p.nexts {
+		if line != p.nexts[i] {
 			continue
 		}
+		s := &p.streams[i]
 		s.lastUse = p.clock
 		if s.depth < MaxDepth {
 			s.depth++
 		}
 		s.next = line + 1
+		p.nexts[i] = line + 1
 		p.stats.Advances++
 		if line == pageEnd(line) {
 			// The stream has consumed its page; the physically next page
 			// is unrelated, so the stream dies here.
 			s.valid = false
+			p.nexts[i] = noStream
 			return nil
 		}
 		return p.issue(s, line)
@@ -167,6 +181,7 @@ func (p *Prefetcher) allocStream(line mem.Line) *stream {
 		lastUse:   p.clock,
 		valid:     true,
 	}
+	p.nexts[victim] = line + 1
 	return &p.streams[victim]
 }
 
@@ -174,6 +189,7 @@ func (p *Prefetcher) allocStream(line mem.Line) *stream {
 func (p *Prefetcher) Reset() {
 	for i := range p.streams {
 		p.streams[i] = stream{}
+		p.nexts[i] = noStream
 	}
 	for i := range p.recent {
 		p.recent[i] = 0

@@ -1,0 +1,53 @@
+// Package prof wires the -cpuprofile/-memprofile flags of the command-line
+// tools to runtime/pprof, so the simulator's hot paths can be profiled
+// from the binaries users actually run (the machine stepping loop, the
+// partition sweeps) rather than only from micro-benchmarks.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins CPU profiling to cpuFile (if non-empty) and arranges for a
+// heap profile to be written to memFile (if non-empty) when the returned
+// stop function runs. Either path may be empty; stop is always non-nil,
+// idempotent, and safe to both defer and call early on error paths.
+func Start(cpuFile, memFile string) (stop func(), err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpu != nil {
+				pprof.StopCPUProfile()
+				cpu.Close()
+			}
+			if memFile == "" {
+				return
+			}
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		})
+	}, nil
+}

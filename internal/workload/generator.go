@@ -112,6 +112,15 @@ type Gen struct {
 	instr   uint64 // instructions completed (including pending gap)
 	gapMax  int
 	current int // current phase index
+
+	// Incremental phase tracking: cyclePos is instr modulo cycle, and
+	// [phaseStart, phaseEnd) is the cyclePos range of the current phase.
+	// Keeping these up to date as instr advances turns the per-reference
+	// phase lookup from a scan over the schedule into an amortized O(1)
+	// update (phaseFor remains as the checked reference implementation).
+	cyclePos   uint64
+	phaseStart uint64
+	phaseEnd   uint64
 }
 
 // New instantiates cfg with the given seed. It panics on an invalid
@@ -165,9 +174,34 @@ func (g *Gen) Reset(seed int64) {
 	// instructions. Gaps are uniform on [0, 2*mean] so the mean holds.
 	mean := 1/g.cfg.MemFrac - 1
 	g.gapMax = int(2*mean + 0.5)
+
+	g.cyclePos = 0
+	g.phaseStart = 0
+	g.phaseEnd = g.phases[0].length
 }
 
-// phaseFor returns the phase index active at instruction count n.
+// advance moves the instruction counter by d and updates the incremental
+// phase-tracking state to the phase active at the new position.
+func (g *Gen) advance(d uint64) {
+	g.instr += d
+	g.cyclePos += d
+	if g.cyclePos >= g.cycle {
+		g.cyclePos %= g.cycle
+		g.current = 0
+		g.phaseStart = 0
+		g.phaseEnd = g.phases[0].length
+	}
+	for g.cyclePos >= g.phaseEnd {
+		g.current++
+		g.phaseStart = g.phaseEnd
+		g.phaseEnd += g.phases[g.current].length
+	}
+}
+
+// phaseFor returns the phase index active at instruction count n by
+// scanning the schedule. The hot path tracks the phase incrementally in
+// advance; this scan is the reference implementation the property tests
+// check the incremental state against.
 func (g *Gen) phaseFor(n uint64) int {
 	pos := n % g.cycle
 	for i := range g.phases {
@@ -185,9 +219,7 @@ func (g *Gen) Next() mem.Ref {
 	if g.gapMax > 0 {
 		gap = uint32(g.rng.Intn(g.gapMax + 1))
 	}
-	g.instr += uint64(gap) + 1
-
-	g.current = g.phaseFor(g.instr)
+	g.advance(uint64(gap) + 1)
 	ph := &g.phases[g.current]
 
 	// Weighted component pick.
@@ -205,6 +237,16 @@ func (g *Gen) Next() mem.Ref {
 	return mem.Ref{Addr: mem.AddrOfLine(line), Kind: kind, Gap: gap}
 }
 
+// NextBatch implements mem.BatchGenerator: it fills buf with the next
+// len(buf) references of the stream — the exact refs that many Next calls
+// would return, produced without the per-reference interface dispatch.
+func (g *Gen) NextBatch(buf []mem.Ref) int {
+	for i := range buf {
+		buf[i] = g.Next()
+	}
+	return len(buf)
+}
+
 // CurrentPhase returns the index of the phase the generator is in.
 func (g *Gen) CurrentPhase() int { return g.current }
 
@@ -220,4 +262,4 @@ func (g *Gen) Footprint() int {
 	return n
 }
 
-var _ mem.Generator = (*Gen)(nil)
+var _ mem.BatchGenerator = (*Gen)(nil)
