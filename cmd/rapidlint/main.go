@@ -1,0 +1,71 @@
+// Command rapidlint runs rapidmrc's custom static-analysis passes over
+// the repository — the multichecker for the invariants the simulator
+// relies on (see internal/lint and DESIGN.md "Static invariants"):
+//
+//	hotpathalloc    //rapidmrc:hotpath functions stay allocation-free
+//	determinism     simulator packages never read clock/env/global rand
+//	maporder        output packages never emit in map-hash order
+//	importboundary  internal layering + no fmt/os/log in the kernel
+//
+// Usage:
+//
+//	rapidlint [-list] [packages...]
+//
+// With no package patterns it checks ./... . Exit status: 0 clean,
+// 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rapidmrc/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rapidlint [-list] [packages...]\n\nAnalyzers:\n")
+		printAnalyzers(os.Stderr)
+	}
+	flag.Parse()
+
+	if *list {
+		printAnalyzers(os.Stdout)
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rapidlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rapidlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rapidlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rapidlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func printAnalyzers(w *os.File) {
+	for _, a := range lint.All() {
+		fmt.Fprintf(w, "  %-15s %s\n", a.Name, a.Doc)
+	}
+}

@@ -8,9 +8,10 @@
 package cache
 
 import (
-	"fmt"
+	"errors"
 	"math/bits"
 	"math/rand"
+	"strconv"
 
 	"rapidmrc/internal/mem"
 )
@@ -42,13 +43,15 @@ type Config struct {
 // of the shift/mask one (see setIndex), so nothing silently mis-indexes.
 func (c Config) Validate() error {
 	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
-		return fmt.Errorf("cache %s: line size %d is not a positive power of two (set indexing shifts by log2(line size))", c.Name, c.LineSize)
+		return errors.New("cache " + c.Name + ": line size " + strconv.Itoa(c.LineSize) +
+			" is not a positive power of two (set indexing shifts by log2(line size))")
 	}
 	if c.SizeBytes <= 0 || c.SizeBytes%int64(c.LineSize) != 0 {
-		return fmt.Errorf("cache %s: size %d is not a positive multiple of line size %d", c.Name, c.SizeBytes, c.LineSize)
+		return errors.New("cache " + c.Name + ": size " + strconv.FormatInt(c.SizeBytes, 10) +
+			" is not a positive multiple of line size " + strconv.Itoa(c.LineSize))
 	}
 	if c.Ways < 0 {
-		return fmt.Errorf("cache %s: negative associativity %d", c.Name, c.Ways)
+		return errors.New("cache " + c.Name + ": negative associativity " + strconv.Itoa(c.Ways))
 	}
 	lines := c.SizeBytes / int64(c.LineSize)
 	ways := int64(c.Ways)
@@ -56,10 +59,13 @@ func (c Config) Validate() error {
 		ways = lines
 	}
 	if lines%ways != 0 {
-		return fmt.Errorf("cache %s: %d lines not divisible by %d ways (would leave a fractional set)", c.Name, lines, ways)
+		return errors.New("cache " + c.Name + ": " + strconv.FormatInt(lines, 10) +
+			" lines not divisible by " + strconv.FormatInt(ways, 10) +
+			" ways (would leave a fractional set)")
 	}
 	if c.Policy != LRU && (c.Ways <= 0 || c.Ways > wideSetThreshold) {
-		return fmt.Errorf("cache %s: policy %v requires 1..%d ways", c.Name, c.Policy, wideSetThreshold)
+		return errors.New("cache " + c.Name + ": policy " + c.Policy.String() +
+			" requires 1.." + strconv.Itoa(wideSetThreshold) + " ways")
 	}
 	return nil
 }
@@ -205,6 +211,8 @@ func newMagic128(d uint64) magic128 {
 }
 
 // mod returns n % d for the divisor the magic was built for.
+//
+//rapidmrc:hotpath
 func (m magic128) mod(n, d uint64) uint64 {
 	// lowbits = M * n mod 2^128
 	lbHi, lbLo := bits.Mul64(m.lo, n)
@@ -219,6 +227,8 @@ func (m magic128) mod(n, d uint64) uint64 {
 // setIndex maps a line to its set: shift/mask for power-of-two set counts,
 // precomputed-modulus for the rest (the POWER5 L2 has 1536 sets). Both are
 // exact line % nsets.
+//
+//rapidmrc:hotpath
 func (c *Cache) setIndex(line mem.Line) int {
 	if c.setPow2 {
 		return int(uint64(line) & c.setMask)
@@ -229,6 +239,8 @@ func (c *Cache) setIndex(line mem.Line) int {
 // Access looks up line, allocating it on a miss (evicting the set's LRU
 // line if the set is full). dirty marks the line dirty (store); on a hit it
 // ORs into the existing dirty bit.
+//
+//rapidmrc:hotpath
 func (c *Cache) Access(line mem.Line, dirty bool) Result {
 	c.stats.Accesses++
 	var res Result
@@ -253,6 +265,8 @@ func (c *Cache) Access(line mem.Line, dirty bool) Result {
 
 // Probe reports whether line is present without disturbing LRU order or
 // statistics.
+//
+//rapidmrc:hotpath
 func (c *Cache) Probe(line mem.Line) bool {
 	if c.lru != nil {
 		return c.lru.probe(c.setIndex(line), line)
@@ -264,6 +278,8 @@ func (c *Cache) Probe(line mem.Line) bool {
 // It returns true on a hit. Statistics are not updated; the platform uses
 // Touch for prefetch-issued lookups it does not want counted as demand
 // accesses.
+//
+//rapidmrc:hotpath
 func (c *Cache) Touch(line mem.Line) bool {
 	if c.lru != nil {
 		return c.lru.touch(c.setIndex(line), line)
@@ -275,6 +291,8 @@ func (c *Cache) Touch(line mem.Line) bool {
 // the LRU line of its set if needed. It is used for prefetch fills and for
 // victim-cache insertion. If the line is already present its LRU position
 // is refreshed and no eviction happens.
+//
+//rapidmrc:hotpath
 func (c *Cache) Insert(line mem.Line, dirty bool) Result {
 	var res Result
 	if c.lru != nil {

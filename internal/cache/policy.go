@@ -1,8 +1,8 @@
 package cache
 
 import (
-	"fmt"
 	"math/rand"
+	"strconv"
 
 	"rapidmrc/internal/mem"
 )
@@ -41,7 +41,7 @@ func (p Policy) String() string {
 	case MRU:
 		return "MRU"
 	default:
-		return fmt.Sprintf("Policy(%d)", uint8(p))
+		return "Policy(" + strconv.Itoa(int(p)) + ")"
 	}
 }
 

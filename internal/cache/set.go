@@ -19,6 +19,8 @@ const (
 // metaInsertFront rewrites the dirty bitmask of meta for a move-to-front
 // of position i: bits [0, i) shift up one and d lands at position 0. The
 // count byte is preserved.
+//
+//rapidmrc:hotpath
 func metaInsertFront(meta uint64, i int, d bool) uint64 {
 	mask := meta >> 8
 	low := mask & (1<<i - 1)
@@ -31,6 +33,8 @@ func metaInsertFront(meta uint64, i int, d bool) uint64 {
 
 // metaRemove rewrites the dirty bitmask of meta for removal of position
 // i: bits above it shift down one. The count byte is preserved.
+//
+//rapidmrc:hotpath
 func metaRemove(meta uint64, i int) uint64 {
 	mask := meta >> 8
 	low := mask & (1<<i - 1)
@@ -65,11 +69,14 @@ func newFlatLRU(nsets, ways int) *flatLRU {
 }
 
 // setWords returns the meta+lines window of one set.
+//
+//rapidmrc:hotpath
 func (f *flatLRU) setWords(set int) []uint64 {
 	b := set * f.stride
 	return f.words[b : b+f.stride : b+f.stride]
 }
 
+//rapidmrc:hotpath
 func (f *flatLRU) access(set int, line mem.Line, dirty bool) Result {
 	w := f.setWords(set)
 	meta := w[0]
@@ -108,6 +115,7 @@ func (f *flatLRU) access(set int, line mem.Line, dirty bool) Result {
 	return Result{Evicted: true, Victim: victim, VictimDirty: victimDirty}
 }
 
+//rapidmrc:hotpath
 func (f *flatLRU) probe(set int, line mem.Line) bool {
 	w := f.setWords(set)
 	n := int(w[0] & metaN)
@@ -121,6 +129,7 @@ func (f *flatLRU) probe(set int, line mem.Line) bool {
 	return false
 }
 
+//rapidmrc:hotpath
 func (f *flatLRU) touch(set int, line mem.Line) bool {
 	w := f.setWords(set)
 	meta := w[0]
@@ -145,6 +154,8 @@ func (f *flatLRU) touch(set int, line mem.Line) bool {
 // insert is Cache.Insert's one-scan fast path: a present line is
 // refreshed keeping its dirty bit (exactly touch), an absent one is
 // allocated (exactly access), without scanning the set twice.
+//
+//rapidmrc:hotpath
 func (f *flatLRU) insert(set int, line mem.Line, dirty bool) Result {
 	w := f.setWords(set)
 	meta := w[0]
@@ -177,6 +188,7 @@ func (f *flatLRU) insert(set int, line mem.Line, dirty bool) Result {
 	return Result{Evicted: true, Victim: victim, VictimDirty: victimDirty}
 }
 
+//rapidmrc:hotpath
 func (f *flatLRU) invalidate(set int, line mem.Line) (present, dirty bool) {
 	w := f.setWords(set)
 	meta := w[0]

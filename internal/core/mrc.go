@@ -1,8 +1,9 @@
 package core
 
 import (
-	"fmt"
+	"errors"
 	"math"
+	"strconv"
 
 	"rapidmrc/internal/mem"
 )
@@ -51,17 +52,19 @@ func DefaultConfig() Config {
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
 	if c.StackLines <= 0 {
-		return fmt.Errorf("core: StackLines = %d", c.StackLines)
+		return errors.New("core: StackLines = " + strconv.Itoa(c.StackLines))
 	}
 	if c.Points <= 0 || c.LinesPerPoint <= 0 {
-		return fmt.Errorf("core: %d points × %d lines invalid", c.Points, c.LinesPerPoint)
+		return errors.New("core: " + strconv.Itoa(c.Points) + " points × " +
+			strconv.Itoa(c.LinesPerPoint) + " lines invalid")
 	}
 	if c.Points*c.LinesPerPoint > c.StackLines {
-		return fmt.Errorf("core: %d points × %d lines exceeds stack capacity %d",
-			c.Points, c.LinesPerPoint, c.StackLines)
+		return errors.New("core: " + strconv.Itoa(c.Points) + " points × " +
+			strconv.Itoa(c.LinesPerPoint) + " lines exceeds stack capacity " +
+			strconv.Itoa(c.StackLines))
 	}
 	if c.StaticWarmupFrac < 0 || c.StaticWarmupFrac >= 1 {
-		return fmt.Errorf("core: StaticWarmupFrac = %v", c.StaticWarmupFrac)
+		return errors.New("core: StaticWarmupFrac = " + strconv.FormatFloat(c.StaticWarmupFrac, 'g', -1, 64))
 	}
 	return nil
 }
@@ -107,7 +110,8 @@ func (m *MRC) Transpose(refIdx int, target float64) float64 {
 // difference over all points. The curves must have equal length.
 func Distance(a, b *MRC) float64 {
 	if len(a.MPKI) != len(b.MPKI) {
-		panic(fmt.Sprintf("core: distance between %d- and %d-point curves", len(a.MPKI), len(b.MPKI)))
+		panic("core: distance between " + strconv.Itoa(len(a.MPKI)) + "- and " +
+			strconv.Itoa(len(b.MPKI)) + "-point curves")
 	}
 	sum := 0.0
 	for i := range a.MPKI {
@@ -193,7 +197,7 @@ func Compute(trace []mem.Line, instructions uint64, cfg Config) (*Result, error)
 		return nil, err
 	}
 	if len(trace) == 0 {
-		return nil, fmt.Errorf("core: empty trace log")
+		return nil, errors.New("core: empty trace log")
 	}
 
 	stack := newStack(cfg.StackLines, cfg.GroupSize)
@@ -239,7 +243,7 @@ func Compute(trace []mem.Line, instructions uint64, cfg Config) (*Result, error)
 		hist[d]++
 	}
 	if recorded == 0 {
-		return nil, fmt.Errorf("core: warmup consumed the entire %d-entry trace", len(trace))
+		return nil, errors.New("core: warmup consumed the entire " + strconv.Itoa(len(trace)) + "-entry trace")
 	}
 
 	// Effective instructions: the probing period covers the full log;

@@ -363,6 +363,8 @@ func (t *lineTable) init(capacity int) {
 
 // slot is the home position of k (Fibonacci hashing: high multiply bits
 // folded onto the table size).
+//
+//rapidmrc:hotpath
 func (t *lineTable) slot(k mem.Line) uint64 {
 	h := uint64(k) * 0x9E3779B97F4A7C15
 	return (h ^ h>>29) & t.mask
@@ -372,6 +374,8 @@ func (t *lineTable) slot(k mem.Line) uint64 {
 // empty slot where k would be inserted. The slot stays valid for a later
 // place/update as long as no del intervenes (set never moves entries, and
 // probing for existing keys terminates before any empty slot).
+//
+//rapidmrc:hotpath
 func (t *lineTable) find(k mem.Line) (*igroup, uint64) {
 	i := t.slot(k)
 	for t.vals[i] != nil {
@@ -384,11 +388,15 @@ func (t *lineTable) find(k mem.Line) (*igroup, uint64) {
 }
 
 // place writes k→g into the empty slot a failed find returned.
+//
+//rapidmrc:hotpath
 func (t *lineTable) place(k mem.Line, g *igroup, slot uint64) {
 	t.keys[slot], t.vals[slot] = k, g
 }
 
 // update rebinds the existing entry at slot to g.
+//
+//rapidmrc:hotpath
 func (t *lineTable) update(slot uint64, g *igroup) { t.vals[slot] = g }
 
 // set inserts or updates k→g.
@@ -455,6 +463,8 @@ func (s *RangeStack) Walks() uint64 { return s.walks }
 // add applies delta to the line count of the group at position pos. The
 // head (pos 0) is a plain counter — the hot-path push costs one add, not
 // O(log G) tree updates.
+//
+//rapidmrc:hotpath
 func (s *RangeStack) add(pos, delta int) {
 	if pos == 0 {
 		s.headCount += delta
@@ -466,6 +476,8 @@ func (s *RangeStack) add(pos, delta int) {
 }
 
 // linesAbove returns the total line count of groups at positions < pos.
+//
+//rapidmrc:hotpath
 func (s *RangeStack) linesAbove(pos int) int {
 	if pos == 0 {
 		return 0

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"fmt"
+	"errors"
+	"strconv"
 
 	"rapidmrc/internal/mem"
 )
@@ -110,7 +111,7 @@ func NewStreamEngine(cfg Config, target int) (*StreamEngine, error) {
 		return nil, err
 	}
 	if target <= 0 {
-		return nil, fmt.Errorf("core: stream target %d", target)
+		return nil, errors.New("core: stream target " + strconv.Itoa(target))
 	}
 	e := &StreamEngine{
 		cfg:     cfg,
@@ -180,7 +181,7 @@ func (e *StreamEngine) Target() int { return e.target }
 // It fails if warmup has consumed everything fed so far.
 func (e *StreamEngine) Snapshot(instructions uint64) (*Result, error) {
 	if e.recorded == 0 {
-		return nil, fmt.Errorf("core: warmup consumed all %d entries fed so far", e.consumed)
+		return nil, errors.New("core: warmup consumed all " + strconv.Itoa(e.consumed) + " entries fed so far")
 	}
 	instrEff := effectiveInstructions(instructions, e.recorded, e.consumed)
 	hist := make([]uint64, len(e.hist))

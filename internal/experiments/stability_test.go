@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestOutputByteStable reruns cheap experiments and requires
+// byte-identical output — the dynamic face of the static maporder and
+// determinism invariants (internal/lint): no map-hash order, clock
+// reads, or global rand draws may leak into emitted files, so archived
+// experiment output diffs clean across runs.
+func TestOutputByteStable(t *testing.T) {
+	for _, id := range []string{"table1", "fig5a"} {
+		var first, second bytes.Buffer
+		if err := Run(id, &first, testCfg()); err != nil {
+			t.Fatalf("%s first run: %v", id, err)
+		}
+		if err := Run(id, &second, testCfg()); err != nil {
+			t.Fatalf("%s second run: %v", id, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("%s output differs between identically seeded runs (%d vs %d bytes)",
+				id, first.Len(), second.Len())
+		}
+	}
+}

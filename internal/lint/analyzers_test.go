@@ -1,0 +1,48 @@
+package lint_test
+
+import (
+	"testing"
+
+	"rapidmrc/internal/lint"
+	"rapidmrc/internal/lint/linttest"
+)
+
+// The fixture packages are type-checked under impersonated import paths
+// so the package-scoped analyzers (determinism, maporder,
+// importboundary) see them as the packages they guard.
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotPathAlloc, "testdata/hotpathalloc", "rapidmrc/internal/lint/testdata/hot")
+}
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "testdata/determinism", "rapidmrc/internal/core")
+}
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, lint.MapOrder, "testdata/maporder", "rapidmrc/internal/report")
+}
+
+func TestImportBoundaryKernel(t *testing.T) {
+	linttest.Run(t, lint.ImportBoundary, "testdata/importboundary/kernel", "rapidmrc/internal/cache")
+}
+
+func TestImportBoundaryUncataloged(t *testing.T) {
+	linttest.Run(t, lint.ImportBoundary, "testdata/importboundary/uncataloged", "rapidmrc/internal/mystery")
+}
+
+// TestDeterminismIgnoresOtherPackages proves the package scoping: the
+// same fixture under a path outside the deterministic set yields nothing.
+func TestDeterminismIgnoresOtherPackages(t *testing.T) {
+	pkg, err := lint.CheckDir("testdata/determinism", "rapidmrc/internal/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{lint.Determinism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("determinism fired outside its package set: %v", diags)
+	}
+}

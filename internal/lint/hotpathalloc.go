@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotpathMarker tags a function as part of the allocation-free fast
+// path. The marker lives in the function's doc comment:
+//
+//	// access looks a line up in one set.
+//	//
+//	//rapidmrc:hotpath
+//	func (f *flatLRU) access(...) Result { ... }
+//
+// The AllocsPerRun pins in cache/fastpath_test.go prove the dynamic
+// property on the configurations the tests run; this pass proves the
+// structural property on every build: no construct that can heap-escape
+// is present in the annotated body at all.
+const hotpathMarker = "rapidmrc:hotpath"
+
+// HotPathAlloc flags heap-escaping constructs inside functions annotated
+// //rapidmrc:hotpath: interface boxing, closures, append, map
+// operations, and calls into fmt. The check is per-body (callees need
+// their own annotation), which is exactly the granularity the
+// AllocsPerRun pins cover dynamically.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "forbid interface boxing, closures, append, map operations, and fmt " +
+		"calls in functions annotated //rapidmrc:hotpath",
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//"+hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	sig, _ := pass.Info.Defs[fd.Name].Type().(*types.Signature)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path %s contains a closure (captured variables escape)", name)
+			return false // the closure body is not the hot path itself
+		case *ast.CallExpr:
+			checkHotCall(pass, name, n)
+		case *ast.RangeStmt:
+			if isMapType(pass, n.X) {
+				pass.Reportf(n.Pos(), "hot path %s ranges over a map (hashes, nondeterministic order)", name)
+			}
+		case *ast.IndexExpr:
+			if isMapType(pass, n.X) {
+				pass.Reportf(n.Pos(), "hot path %s indexes a map", name)
+			}
+		case *ast.CompositeLit:
+			if t := pass.Info.TypeOf(n); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(), "hot path %s builds a map literal", name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) {
+					checkBoxing(pass, name, pass.Info.TypeOf(lhs), n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if i < len(n.Names) {
+					checkBoxing(pass, name, pass.Info.TypeOf(n.Names[i]), v)
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig == nil || sig.Results() == nil || len(n.Results) != sig.Results().Len() {
+				break
+			}
+			for i, res := range n.Results {
+				checkBoxing(pass, name, sig.Results().At(i).Type(), res)
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, name string, call *ast.CallExpr) {
+	// Builtins: append always risks growth; delete and make(map) touch
+	// maps. len/cap/copy and arithmetic builtins are free.
+	if id := calleeIdent(call); id != nil {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				pass.Reportf(call.Pos(), "hot path %s calls append (may grow and reallocate)", name)
+			case "delete":
+				pass.Reportf(call.Pos(), "hot path %s deletes from a map", name)
+			case "make":
+				if len(call.Args) > 0 && isMapTypeExpr(pass, call.Args[0]) {
+					pass.Reportf(call.Pos(), "hot path %s makes a map", name)
+				}
+			}
+			return
+		}
+	}
+	if fn := calledFunc(pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "hot path %s calls fmt.%s (interface boxing and buffering)", name, fn.Name())
+		return
+	}
+	// Conversions: T(x) where T is an interface type boxes x.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if isInterface(tv.Type) && len(call.Args) == 1 && !isInterface(pass.Info.TypeOf(call.Args[0])) {
+			pass.Reportf(call.Pos(), "hot path %s converts a concrete value to an interface", name)
+		}
+		return
+	}
+	// Ordinary calls: a concrete argument passed for an interface
+	// parameter boxes.
+	sig, _ := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if call.Ellipsis.IsValid() {
+				pt = last
+			} else if s, ok := last.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		checkBoxing(pass, name, pt, arg)
+	}
+}
+
+func checkBoxing(pass *Pass, name string, dst types.Type, src ast.Expr) {
+	if dst == nil || !isInterface(dst) {
+		return
+	}
+	st := pass.Info.TypeOf(src)
+	if st == nil || isInterface(st) || isUntypedNil(st) {
+		return
+	}
+	pass.Reportf(src.Pos(), "hot path %s boxes a concrete %s into %s", name, st, dst)
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isMapType(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isMapTypeExpr reports whether e denotes a map type (for make(map[K]V)).
+func isMapTypeExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+// calledFunc resolves the *types.Func a call dispatches to, or nil for
+// builtins, conversions, and calls of function-typed variables.
+func calledFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	id := calleeIdent(call)
+	if id == nil {
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,195 @@
+// Package lint is rapidmrc's in-tree static-analysis framework: a small
+// go/analysis-shaped harness built purely on the standard library (the
+// container has no golang.org/x/tools module), plus the custom passes
+// that turn the simulator's correctness conventions into machine-checked
+// invariants.
+//
+// The conventions it enforces grew out of the last three PRs:
+//
+//   - the cache fast path is pinned allocation-free (testing.AllocsPerRun)
+//   - the streaming engine must stay bit-identical to batch Compute
+//   - shared-stream sweeps replay one leader-L1 outcome stream into 16
+//     machines, which is only sound if every machine is deterministic
+//
+// All of these silently break if someone adds a heap allocation, an
+// unseeded math/rand call, or an unsorted map iteration to a hot or
+// deterministic path — hence rapidlint (cmd/rapidlint), which runs the
+// passes over the whole repo as part of tier-1.
+//
+// # Suppressions
+//
+// A finding can be silenced with an explained suppression comment on the
+// offending line, or on its own line directly above it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory: a bare `//lint:allow determinism` is itself
+// reported as a violation, so every suppression in the tree documents
+// why the invariant does not apply.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check, mirroring golang.org/x/tools
+// go/analysis: a name (used in diagnostics and suppression comments),
+// one-paragraph documentation, and a Run function applied per package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass carries one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Path is the package's import path ("rapidmrc/internal/cache").
+	Path string
+	// Pkg is the type-checked package object; may be incomplete for
+	// fixture packages checked with the tolerant importer.
+	Pkg *types.Package
+	// Fset positions every node of Files.
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Info holds the type-checker's fact tables for Files.
+	Info *types.Info
+
+	// suppressions maps "file:line" to the analyzer names allowed there,
+	// built once per package from //lint:allow comments.
+	suppressions map[string]map[string]bool
+	diags        *[]Diagnostic
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless a //lint:allow suppression for
+// this analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, a ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, a...),
+	})
+}
+
+func (p *Pass) suppressed(pos token.Position) bool {
+	if m := p.suppressions[suppressKey(pos.Filename, pos.Line)]; m[p.Analyzer.Name] {
+		return true
+	}
+	return false
+}
+
+func suppressKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+const allowPrefix = "//lint:allow"
+
+// buildSuppressions scans every comment of files for //lint:allow
+// markers. A marker covers its own source line and the line below it, so
+// both end-of-line and own-line placements work. Markers without a
+// reason are returned as diagnostics instead of taking effect.
+func buildSuppressions(fset *token.FileSet, files []*ast.File) (map[string]map[string]bool, []Diagnostic) {
+	sup := make(map[string]map[string]bool)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lintallow",
+						Pos:      pos,
+						Message:  "suppression needs an analyzer name and a reason: //lint:allow <analyzer> <why>",
+					})
+					continue
+				}
+				name := fields[0]
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := suppressKey(pos.Filename, line)
+					if sup[k] == nil {
+						sup[k] = make(map[string]bool)
+					}
+					sup[k][name] = true
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// combined findings sorted by position. Malformed //lint:allow comments
+// are reported alongside analyzer findings.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup, bad := buildSuppressions(pkg.Fset, pkg.Files)
+		diags = append(diags, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:     a,
+				Path:         pkg.Path,
+				Pkg:          pkg.Types,
+				Fset:         pkg.Fset,
+				Files:        pkg.Files,
+				Info:         pkg.Info,
+				suppressions: sup,
+				diags:        &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full rapidlint suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		HotPathAlloc,
+		Determinism,
+		MapOrder,
+		ImportBoundary,
+	}
+}

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed, type-checked package ready for
+// analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+}
+
+// Load resolves patterns ("./...", "rapidmrc/internal/cache") with the
+// go tool, then parses and type-checks each matched package. Imports are
+// resolved by the standard library's source importer, so no module
+// downloads or pre-built export data are needed — the whole pipeline
+// works offline on a bare toolchain. Test files are not loaded: the
+// invariants guard production paths, and tests legitimately use clocks,
+// global rand, and fmt.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, lp := range listed {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var out []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, lp listedPackage) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:  lp.ImportPath,
+		Dir:   lp.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// CheckDir parses and type-checks a single directory of fixture sources
+// under an arbitrary import path — the loader behind the linttest
+// harness. Unresolvable imports (fixture packages reference fake
+// rapidmrc/internal paths) degrade to empty placeholder packages and
+// type errors are tolerated, since the analyzers under test only need
+// the facts the checker could still establish.
+func CheckDir(dir, path string) (*Package, error) {
+	fset := token.NewFileSet()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no fixture sources in %s", dir)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer: &tolerantImporter{src: importer.ForCompiler(fset, "source", nil)},
+		Error:    func(error) {}, // fixture packages may reference fake imports
+	}
+	tpkg, _ := conf.Check(path, fset, files, info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s produced no package", dir)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// tolerantImporter resolves what it can from source and fabricates empty
+// packages for everything else, so fixtures can import paths that do not
+// exist on disk.
+type tolerantImporter struct {
+	src  types.Importer
+	fake map[string]*types.Package
+}
+
+func (t *tolerantImporter) Import(path string) (*types.Package, error) {
+	if pkg, err := t.src.Import(path); err == nil {
+		return pkg, nil
+	}
+	if t.fake == nil {
+		t.fake = make(map[string]*types.Package)
+	}
+	if pkg, ok := t.fake[path]; ok {
+		return pkg, nil
+	}
+	name := path
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	pkg := types.NewPackage(path, name)
+	pkg.MarkComplete()
+	t.fake[path] = pkg
+	return pkg, nil
+}

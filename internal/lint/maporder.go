@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// orderedOutputPkgs are the packages that render experiment results into
+// files, tables, and JSON — output that regression baselines diff
+// byte-for-byte. Iterating a map there emits in hash order, which
+// changes run to run.
+var orderedOutputPkgs = map[string]bool{
+	"rapidmrc/internal/report":      true,
+	"rapidmrc/internal/experiments": true,
+	"rapidmrc/internal/benchsuite":  true,
+}
+
+// MapOrder flags `range` over a map in the output-rendering packages
+// unless the body is one of the two order-insensitive idioms:
+//
+//   - key collection for a later sort:  keys = append(keys, k)
+//   - exact commutative accumulation:   n++ / total += count (integers)
+//
+// Anything else — writing rows, emitting series, accumulating floats
+// (whose addition is not associative) — must iterate sorted keys.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "forbid order-sensitive map iteration in internal/{report,experiments," +
+		"benchsuite}; collect and sort keys before emitting",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !orderedOutputPkgs[pass.Path] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(pass, rng.X) {
+				return true
+			}
+			if mapBodyOrderFree(pass, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "map iteration order is random; collect the keys, sort, and iterate the sorted slice before emitting")
+			return true
+		})
+	}
+	return nil
+}
+
+// mapBodyOrderFree reports whether every statement of the range body is
+// provably insensitive to iteration order.
+func mapBodyOrderFree(pass *Pass, rng *ast.RangeStmt) bool {
+	for _, stmt := range rng.Body.List {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			if !isIntegerExpr(pass, s.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			if !orderFreeAssign(pass, rng, s) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func orderFreeAssign(pass *Pass, rng *ast.RangeStmt, s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	switch s.Tok.String() {
+	case "+=", "|=", "&=", "^=":
+		// Commutative and exact only over integers; float addition is
+		// order-sensitive in the last bits.
+		return isIntegerExpr(pass, s.Lhs[0])
+	case "=":
+		// keys = append(keys, k) — the collect-then-sort idiom. Only the
+		// range KEY may be collected: appending values (or anything
+		// derived from them) still bakes hash order into the slice,
+		// because there is no way to re-sort values into a canonical
+		// order the reader of the output expects.
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id := calleeIdent(call)
+		if id == nil {
+			return false
+		}
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			return false
+		}
+		if len(call.Args) != 2 || call.Ellipsis.IsValid() {
+			return false
+		}
+		if !sameExpr(s.Lhs[0], call.Args[0]) {
+			return false
+		}
+		key, ok := rng.Key.(*ast.Ident)
+		if !ok || key.Name == "_" {
+			return false
+		}
+		arg, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+		return ok && arg.Name == key.Name
+	}
+	return false
+}
+
+func isIntegerExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// sameExpr reports whether two expressions are the same simple variable
+// reference (identifier or selector chain).
+func sameExpr(a, b ast.Expr) bool {
+	switch a := ast.Unparen(a).(type) {
+	case *ast.Ident:
+		bi, ok := ast.Unparen(b).(*ast.Ident)
+		return ok && a.Name == bi.Name
+	case *ast.SelectorExpr:
+		bs, ok := ast.Unparen(b).(*ast.SelectorExpr)
+		return ok && a.Sel.Name == bs.Sel.Name && sameExpr(a.X, bs.X)
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+package lint_test
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"rapidmrc/internal/lint/linttest"
+)
+
+// TestRepoIsClean is the tier-1 enforcement point: every analyzer over
+// every package of the module, zero findings. This is the in-process
+// equivalent of `go run ./cmd/rapidlint ./...`.
+func TestRepoIsClean(t *testing.T) {
+	linttest.MustBeClean(t, ".", "rapidmrc/...")
+}
+
+// TestRapidlintCommand smoke-tests the actual binary path CI runs.
+func TestRapidlintCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run smoke test in -short mode")
+	}
+	root, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("resolving module root: %v", err)
+	}
+	cmd := exec.Command("go", "run", "rapidmrc/cmd/rapidlint", "rapidmrc/...")
+	cmd.Dir = strings.TrimSpace(string(root))
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("rapidlint exited non-zero: %v\n%s", err, out.String())
+	}
+	if s := strings.TrimSpace(out.String()); s != "" {
+		t.Fatalf("rapidlint reported findings:\n%s", s)
+	}
+}

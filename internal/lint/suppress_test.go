@@ -1,0 +1,88 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rapidmrc/internal/lint"
+)
+
+func checkSource(t *testing.T, src, pkgpath string, analyzers ...*lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := lint.CheckDir(dir, pkgpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// An explained //lint:allow on the line above (or at the end of) the
+// offending line silences exactly that analyzer.
+func TestSuppressionSilencesFinding(t *testing.T) {
+	const src = `package det
+
+import "time"
+
+func clock() int64 {
+	//lint:allow determinism fixture: demonstrating an explained suppression
+	return time.Now().Unix()
+}
+`
+	diags := checkSource(t, src, "rapidmrc/internal/core", lint.Determinism)
+	if len(diags) != 0 {
+		t.Fatalf("explained suppression did not silence the finding: %v", diags)
+	}
+}
+
+// A suppression naming a different analyzer leaves the finding live.
+func TestSuppressionIsPerAnalyzer(t *testing.T) {
+	const src = `package det
+
+import "time"
+
+func clock() int64 {
+	//lint:allow maporder wrong analyzer on purpose
+	return time.Now().Unix()
+}
+`
+	diags := checkSource(t, src, "rapidmrc/internal/core", lint.Determinism)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "wall clock") {
+		t.Fatalf("want 1 wall-clock finding, got %v", diags)
+	}
+}
+
+// A bare //lint:allow with no reason is itself a finding and suppresses
+// nothing: every suppression in the tree must be explained.
+func TestSuppressionRequiresReason(t *testing.T) {
+	const src = `package det
+
+import "time"
+
+func clock() int64 {
+	//lint:allow determinism
+	return time.Now().Unix()
+}
+`
+	diags := checkSource(t, src, "rapidmrc/internal/core", lint.Determinism)
+	if len(diags) != 2 {
+		t.Fatalf("want the bare suppression and the live finding, got %v", diags)
+	}
+	var sawBare, sawLive bool
+	for _, d := range diags {
+		sawBare = sawBare || strings.Contains(d.Message, "suppression needs an analyzer name and a reason")
+		sawLive = sawLive || strings.Contains(d.Message, "wall clock")
+	}
+	if !sawBare || !sawLive {
+		t.Fatalf("bare=%v live=%v in %v", sawBare, sawLive, diags)
+	}
+}

@@ -1,0 +1,43 @@
+// Package det exercises the determinism analyzer. The harness checks it
+// under the import path rapidmrc/internal/core, one of the packages
+// whose behaviour must be a pure function of inputs and seeds.
+package det
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().Unix() // want `reads the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `reads the wall clock`
+}
+
+func draw() int {
+	return rand.Intn(10) // want `global rand source`
+}
+
+func shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand source`
+}
+
+func env() string {
+	return os.Getenv("RAPIDMRC_SEED") // want `process environment`
+}
+
+// seeded shows the sanctioned pattern: constructors are deterministic
+// given their arguments, and methods on the seeded generator are fine.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// stamped is fine: constructing or formatting times does not read the
+// clock.
+func stamped(sec int64) string {
+	return time.Unix(sec, 0).UTC().Format(time.RFC3339)
+}

@@ -1,0 +1,73 @@
+// Package hot exercises the hotpathalloc analyzer: every construct that
+// can heap-escape inside a //rapidmrc:hotpath function must be flagged,
+// and unannotated functions must not be.
+package hot
+
+import "fmt"
+
+// lookup is annotated and allocation-free: nothing to report.
+//
+//rapidmrc:hotpath
+func lookup(xs []uint64, x uint64) bool {
+	for i := range xs {
+		if xs[i] == x {
+			return true
+		}
+	}
+	return false
+}
+
+//rapidmrc:hotpath
+func grows(xs []uint64, x uint64) []uint64 {
+	return append(xs, x) // want `calls append`
+}
+
+//rapidmrc:hotpath
+func mapTouch(m map[uint64]int, x uint64) int {
+	m[x] = 1      // want `indexes a map`
+	delete(m, x)  // want `deletes from a map`
+	for range m { // want `ranges over a map`
+	}
+	_ = map[int]int{}     // want `map literal`
+	_ = make(map[int]int) // want `makes a map`
+	return m[x]           // want `indexes a map`
+}
+
+//rapidmrc:hotpath
+func closes(x uint64) uint64 {
+	f := func() uint64 { return x } // want `closure`
+	return f()
+}
+
+//rapidmrc:hotpath
+func prints(x uint64) {
+	fmt.Println(x) // want `calls fmt.Println`
+}
+
+//rapidmrc:hotpath
+func boxAssign(x int) {
+	var v any = x // want `boxes a concrete int`
+	v = x         // want `boxes a concrete int`
+	_ = v
+}
+
+//rapidmrc:hotpath
+func boxReturn(x int) any {
+	return x // want `boxes a concrete int`
+}
+
+//rapidmrc:hotpath
+func boxArg(x int) {
+	sink(x) // want `boxes a concrete int`
+}
+
+func sink(v any) { _ = v }
+
+// notHot carries no annotation; the same constructs are fine here.
+func notHot(m map[int]int, xs []int) []int {
+	for k := range m {
+		xs = append(xs, k)
+	}
+	fmt.Println(len(xs))
+	return xs
+}

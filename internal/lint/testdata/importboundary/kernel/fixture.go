@@ -1,0 +1,17 @@
+// Package cache impersonates rapidmrc/internal/cache (the harness
+// checks this directory under that import path) to exercise both halves
+// of the importboundary analyzer: the kernel std-library bans and the
+// internal layering.
+package cache
+
+import (
+	"fmt" // want `may not import "fmt"`
+	"os"  // want `may not import "os"`
+
+	_ "rapidmrc/internal/lint"     // want `lint tooling is not part of the simulator`
+	_ "rapidmrc/internal/mem"      // layer 0 < layer 1: allowed
+	_ "rapidmrc/internal/platform" // want `imports must point strictly down the layering`
+)
+
+var _ = fmt.Sprint
+var _ = os.Args

@@ -1,0 +1,9 @@
+// Package mystery impersonates rapidmrc/internal/mystery, an internal
+// package nobody added to the layering catalog: the moment it imports
+// another internal package, the analyzer demands a catalog entry.
+package mystery // want `missing from the layering catalog`
+
+import (
+	_ "rapidmrc/internal/mem"
+	_ "rapidmrc/internal/nonexistent" // want `missing from the layering catalog`
+)

@@ -1,0 +1,69 @@
+// Package mapo exercises the maporder analyzer. The harness checks it
+// under the import path rapidmrc/internal/report, one of the packages
+// whose output is diffed byte-for-byte.
+package mapo
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// emit writes values in hash order: flagged.
+func emit(m map[string]float64) string {
+	var b strings.Builder
+	for k, v := range m { // want `map iteration order is random`
+		b.WriteString(k)
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// floatSum accumulates floats, whose addition is not associative: the
+// low bits depend on visit order, so the result is not byte-stable.
+func floatSum(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want `map iteration order is random`
+		s += v
+	}
+	return s
+}
+
+// rows appends values (not keys) in hash order: flagged.
+func rows(m map[string][]string) [][]string {
+	var out [][]string
+	for _, r := range m { // want `map iteration order is random`
+		out = append(out, r)
+	}
+	return out
+}
+
+// sortedEmit is the sanctioned pattern: collect keys, sort, iterate the
+// slice.
+func sortedEmit(m map[string]float64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort: not flagged
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteString(strconv.FormatFloat(m[k], 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// count accumulates integers — exact and commutative, so order cannot
+// leak into the result.
+func count(m map[string]int, want int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return n + total - want
+}

@@ -163,6 +163,8 @@ func (m *Machine) Step() { m.StepRef(m.nextRef()) }
 // StepRefs executes a slice of references in order — the bulk entry point
 // of the shared-stream partition sweeps, which generate the reference
 // stream once and replay each chunk through every machine.
+//
+//rapidmrc:hotpath
 func (m *Machine) StepRefs(refs []mem.Ref) {
 	for _, r := range refs {
 		m.StepRef(r)
@@ -180,6 +182,8 @@ func (m *Machine) StepRefs(refs []mem.Ref) {
 // L1 simulation per chunk (see sweep.go), and every machine consumes the
 // outcomes. The machine's own L1 cache is left untouched; its PMU, core
 // timing, translation, L2, and L3 behave bit-identically to StepRef.
+//
+//rapidmrc:hotpath
 func (m *Machine) StepRefsSharedL1(refs []mem.Ref, l1Hits []bool) {
 	for i, r := range refs {
 		m.core.Advance(uint64(r.Gap) + 1)
@@ -206,6 +210,8 @@ func (m *Machine) StepRefsSharedL1(refs []mem.Ref, l1Hits []bool) {
 // non-memory instructions preceding it. A machine driven by StepRef must
 // not also be driven by Step/RunRefs/RunInstructions: those consume the
 // machine's own generator, and mixing the two interleaves streams.
+//
+//rapidmrc:hotpath
 func (m *Machine) StepRef(ref mem.Ref) {
 	m.core.Advance(uint64(ref.Gap) + 1)
 
@@ -240,6 +246,8 @@ func (m *Machine) StepRef(ref mem.Ref) {
 // onL1DMiss routes a qualifying event through the PMU, charging the
 // overflow exception and appending to the in-memory trace log when a
 // probing period is active.
+//
+//rapidmrc:hotpath
 func (m *Machine) onL1DMiss(pline mem.Line) {
 	overlapped := m.core.MissOverlapsPrevious()
 	if m.pmu.OnL1DMiss(pline, overlapped, m.core.Timing.OverlapDropPermille) {
@@ -251,6 +259,8 @@ func (m *Machine) onL1DMiss(pline mem.Line) {
 // logAppend models the exception handler writing one 8-byte log entry;
 // every 16th entry dirties a fresh line of the log, which passes through
 // the L2 like any store and pollutes the partition under measurement.
+//
+//rapidmrc:hotpath
 func (m *Machine) logAppend() {
 	m.logPending++
 	if m.logPending < logEntriesPerLine {
@@ -268,6 +278,8 @@ func (m *Machine) logAppend() {
 // prefetcher — all application demand traffic trains it, hits included,
 // since hits on previously prefetched lines are what keep a stream
 // running ahead; the PMU's own log writes do not.
+//
+//rapidmrc:hotpath
 func (m *Machine) l2Demand(pline mem.Line, dirty, stall, train bool) {
 	res := m.l2.Access(pline, dirty)
 	m.pmu.OnL2Access(!res.Hit)

@@ -121,6 +121,8 @@ func (p *PMU) Counters() Counters { return p.counters }
 func (p *PMU) ResetCounters() { p.counters = Counters{} }
 
 // OnL2Access records one demand L2 access and whether it missed.
+//
+//rapidmrc:hotpath
 func (p *PMU) OnL2Access(miss bool) {
 	p.counters.L2Accesses++
 	if miss {
@@ -131,6 +133,8 @@ func (p *PMU) OnL2Access(miss bool) {
 // OnPrefetchFill records a prefetcher-installed L2 line and marks the SDAR
 // busy for the burst: the next burstLen qualifying events will record a
 // stale SDAR value instead of their own address.
+//
+//rapidmrc:hotpath
 func (p *PMU) OnPrefetchFill(burstLen int) {
 	p.counters.PrefetchFills += uint64(burstLen)
 	if burstLen > p.staleLeft {
@@ -167,12 +171,15 @@ func (p *PMU) startTrace(n int, sink Sink, instr, cycles uint64) {
 }
 
 // record delivers one sampled entry to the log or the sink.
+//
+//rapidmrc:hotpath
 func (p *PMU) record(line mem.Line) {
 	p.captured++
 	if p.sink != nil {
 		p.sink.Sample(line)
 		return
 	}
+	//lint:allow hotpathalloc StartTrace preallocates trace to the full target capacity, so this append never grows
 	p.trace = append(p.trace, line)
 }
 
@@ -203,6 +210,8 @@ func (p *PMU) FinishTrace(instr, cycles uint64) ([]mem.Line, TraceStats) {
 // dropPermille is the loss probability for overlapped events (from the
 // core's timing). It returns whether an overflow exception was raised —
 // the caller charges its cycle cost while tracing.
+//
+//rapidmrc:hotpath
 func (p *PMU) OnL1DMiss(line mem.Line, overlapped bool, dropPermille uint64) (exception bool) {
 	p.counters.L1DMisses++
 

@@ -90,6 +90,8 @@ func pageEnd(l mem.Line) mem.Line {
 // hit or miss, since hits on previously prefetched lines are what keep a
 // stream running ahead. It returns the lines to prefetch, in ascending
 // order; the slice is valid until the next call.
+//
+//rapidmrc:hotpath
 func (p *Prefetcher) Observe(line mem.Line) []mem.Line {
 	if !p.enabled {
 		return nil

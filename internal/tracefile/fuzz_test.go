@@ -1,0 +1,157 @@
+package tracefile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"rapidmrc/internal/mem"
+)
+
+// validTraceBytes serializes a small well-formed trace for seeding.
+func validTraceBytes(t testing.TB, lines []mem.Line) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := Write(&b, &Trace{Lines: lines, Instructions: 12345, Cycles: 67890}); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// FuzzRead feeds arbitrary bytes to the whole-trace and incremental
+// readers: neither may panic, and whatever Read accepts the Reader must
+// accept identically (they share a format, so they must share a
+// judgment).
+func FuzzRead(f *testing.F) {
+	valid := validTraceBytes(f, []mem.Line{1, 2, 3, 2, 1, 0xfff00, 0xfff01})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2])           // truncated mid-entry
+	f.Add(valid[:headerLen+2])            // truncated header
+	f.Add([]byte("RMRX\x01\x00\x00\x00")) // bad magic
+	f.Add([]byte{})                       // empty
+
+	// Nonzero reserved flags.
+	flags := append([]byte(nil), valid...)
+	flags[6] = 0x80
+	f.Add(flags)
+
+	// Implausible entry count on a tiny body.
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(huge[24:], 1<<40)
+	f.Add(huge)
+
+	// Count larger than the entries actually present.
+	overcount := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(overcount[24:], 1000)
+	f.Add(overcount)
+
+	// Unsupported version.
+	vers := append([]byte(nil), valid...)
+	vers[4] = 9
+	f.Add(vers)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+
+		// The incremental reader must agree with the batch reader.
+		r2, err2 := NewReader(bytes.NewReader(data))
+		if err != nil {
+			// NewReader only validates the header; if it succeeded,
+			// draining it must surface the same malformation Read saw.
+			if err2 == nil {
+				for {
+					if _, e := r2.Next(); e == io.EOF {
+						t.Fatalf("Read rejected (%v) but Reader drained cleanly", err)
+					} else if e != nil {
+						break
+					}
+				}
+			}
+			return
+		}
+		if err2 != nil {
+			t.Fatalf("Read accepted but NewReader rejected: %v", err2)
+		}
+		if r2.Instructions() != tr.Instructions || r2.Cycles() != tr.Cycles {
+			t.Fatalf("header mismatch: Reader (%d,%d) vs Read (%d,%d)",
+				r2.Instructions(), r2.Cycles(), tr.Instructions, tr.Cycles)
+		}
+		for i, want := range tr.Lines {
+			got, e := r2.Next()
+			if e != nil {
+				t.Fatalf("Reader failed at entry %d of %d: %v", i, len(tr.Lines), e)
+			}
+			if got != want {
+				t.Fatalf("entry %d: Reader %d vs Read %d", i, got, want)
+			}
+		}
+		if _, e := r2.Next(); e != io.EOF {
+			t.Fatalf("Reader yielded more than Read's %d entries (err %v)", len(tr.Lines), e)
+		}
+
+		// Accepted input must round-trip: re-encoding the decoded trace
+		// and decoding again is the identity.
+		var re bytes.Buffer
+		if err := Write(&re, tr); err != nil {
+			t.Fatalf("re-encoding accepted trace: %v", err)
+		}
+		tr2, err := Read(&re)
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded trace: %v", err)
+		}
+		if tr2.Instructions != tr.Instructions || tr2.Cycles != tr.Cycles || len(tr2.Lines) != len(tr.Lines) {
+			t.Fatalf("round-trip changed shape: %+v vs %+v", tr2, tr)
+		}
+		for i := range tr.Lines {
+			if tr2.Lines[i] != tr.Lines[i] {
+				t.Fatalf("round-trip changed entry %d", i)
+			}
+		}
+	})
+}
+
+// FuzzWriterRoundTrip drives the incremental Writer with arbitrary line
+// deltas and checks the batch reader recovers exactly what was appended,
+// for both the seekable (backpatched header) and staged paths.
+func FuzzWriterRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 255}, uint64(10), uint64(20))
+	f.Add([]byte{}, uint64(0), uint64(0))
+	f.Add([]byte{128, 7, 7, 7, 200}, uint64(1)<<60, uint64(3))
+
+	f.Fuzz(func(t *testing.T, deltas []byte, instr, cycles uint64) {
+		lines := make([]mem.Line, len(deltas))
+		var cur mem.Line
+		for i, d := range deltas {
+			// Mix big jumps and small steps; overflow wraps, which the
+			// delta encoding must survive.
+			cur += mem.Line(d) * 0x10001
+			lines[i] = cur
+		}
+
+		var b bytes.Buffer
+		w := NewWriter(&b)
+		for _, l := range lines {
+			if err := w.Append(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Finish(instr, cycles); err != nil {
+			t.Fatal(err)
+		}
+
+		tr, err := Read(&b)
+		if err != nil {
+			t.Fatalf("reading Writer output: %v", err)
+		}
+		if tr.Instructions != instr || tr.Cycles != cycles || len(tr.Lines) != len(lines) {
+			t.Fatalf("got (%d,%d,%d entries), want (%d,%d,%d)",
+				tr.Instructions, tr.Cycles, len(tr.Lines), instr, cycles, len(lines))
+		}
+		for i := range lines {
+			if tr.Lines[i] != lines[i] {
+				t.Fatalf("entry %d: got %d want %d", i, tr.Lines[i], lines[i])
+			}
+		}
+	})
+}
