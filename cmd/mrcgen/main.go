@@ -7,6 +7,7 @@
 //
 //	mrcgen -app mcf
 //	mrcgen -app mcf -stream -epoch 20000
+//	mrcgen -app mcf -parallel-trace 4
 //	mrcgen -app swim -entries 1600000 -real
 //	mrcgen -list
 package main
@@ -41,6 +42,7 @@ func main() {
 		simplified = flag.Bool("simplified", false, "capture in single-issue, in-order, no-prefetch mode")
 		withReal   = flag.Bool("real", false, "also measure the real MRC (16 full runs) and report the distance")
 		parallel   = flag.Int("parallel", 0, "worker pool size for the real-MRC runs (0 = one per CPU, 1 = serial)")
+		parTrace   = flag.Int("parallel-trace", 0, "process the trace itself with N parallel chunk passes (0 = serial engine, negative = one chunk per CPU); results are bit-identical")
 		list       = flag.Bool("list", false, "list available applications")
 		save       = flag.String("save", "", "write the captured (uncorrected) trace to this file")
 		load       = flag.String("load", "", "compute from a previously saved trace instead of capturing")
@@ -72,6 +74,9 @@ func main() {
 	if *simplified {
 		opts = append(opts, rapidmrc.WithSimplifiedMode())
 	}
+	if *parTrace != 0 {
+		opts = append(opts, rapidmrc.WithTraceParallelism(*parTrace))
+	}
 
 	if *stream && *save != "" {
 		fail(fmt.Errorf("-save needs the buffered capture path; -stream never materializes a trace"))
@@ -84,13 +89,17 @@ func main() {
 	)
 	switch {
 	case *stream && *load != "":
-		curve, stats, err = streamFromFile(*load, *epoch)
+		curve, stats, err = streamFromFile(*load, *epoch, *parTrace)
 	case *stream:
 		curve, stats, err = streamOnline(*app, *epoch, opts)
 	case *load != "":
 		trace, err = loadTrace(*load)
 		if err == nil {
-			curve, stats, err = rapidmrc.NewEngine().Compute(trace)
+			if *parTrace != 0 {
+				curve, stats, err = rapidmrc.NewEngine().ComputeParallel(trace, *parTrace)
+			} else {
+				curve, stats, err = rapidmrc.NewEngine().Compute(trace)
+			}
 		}
 	default:
 		curve, stats, trace, err = rapidmrc.Online(*app, opts...)
@@ -169,8 +178,10 @@ func streamOnline(app string, epoch int, opts []rapidmrc.SystemOption) (*rapidmr
 }
 
 // streamFromFile replays an archived trace through the streaming engine
-// one entry at a time — the whole log is never resident.
-func streamFromFile(path string, epoch int) (*rapidmrc.Curve, *rapidmrc.Stats, error) {
+// one entry at a time — with the serial engine the whole log is never
+// resident; parTrace != 0 switches to the chunk-parallel back-end,
+// which buffers the replayed entries (see Engine.NewParallelStream).
+func streamFromFile(path string, epoch, parTrace int) (*rapidmrc.Curve, *rapidmrc.Stats, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
@@ -180,7 +191,12 @@ func streamFromFile(path string, epoch int) (*rapidmrc.Curve, *rapidmrc.Stats, e
 	if err != nil {
 		return nil, nil, err
 	}
-	st, err := rapidmrc.NewEngine().NewStream(r.Len())
+	var st *rapidmrc.Stream
+	if parTrace != 0 {
+		st, err = rapidmrc.NewEngine().NewParallelStream(r.Len(), parTrace)
+	} else {
+		st, err = rapidmrc.NewEngine().NewStream(r.Len())
+	}
 	if err != nil {
 		return nil, nil, err
 	}

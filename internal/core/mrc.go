@@ -155,9 +155,11 @@ var newStack = func(capacity, groupSize int) Stack {
 	return NewRangeStack(capacity, groupSize)
 }
 
-// effectiveInstructions prorates the application progress over the whole
-// log to the recorded (post-warmup) portion, for MPKI normalization.
-func effectiveInstructions(instructions uint64, recorded, consumed int) uint64 {
+// EffectiveInstructions prorates the application progress over the whole
+// log to the recorded (post-warmup) portion, for MPKI normalization. It
+// is exported for the parallel engine (core/parstack), which must
+// normalize exactly as the serial paths do.
+func EffectiveInstructions(instructions uint64, recorded, consumed int) uint64 {
 	eff := uint64(float64(instructions) * float64(recorded) / float64(consumed))
 	if eff == 0 {
 		eff = 1
@@ -165,11 +167,12 @@ func effectiveInstructions(instructions uint64, recorded, consumed int) uint64 {
 	return eff
 }
 
-// curveFromHist integrates a stack-distance histogram into the MRC:
+// CurveFromHist integrates a stack-distance histogram into the MRC:
 // Miss(size) = references with distance > size, plus infinite, normalized
-// to MPKI. Shared by the batch Compute and the StreamEngine snapshots so
-// the two paths are identical by construction at this stage.
-func curveFromHist(hist []uint64, inf, instrEff uint64, cfg Config) []float64 {
+// to MPKI. Shared by the batch Compute, the StreamEngine snapshots, and
+// the parallel engine (core/parstack) so all paths are identical by
+// construction at this stage.
+func CurveFromHist(hist []uint64, inf, instrEff uint64, cfg Config) []float64 {
 	mpki := make([]float64, cfg.Points)
 	// Suffix sums over the histogram, evaluated at each point boundary.
 	misses := inf
@@ -248,8 +251,8 @@ func Compute(trace []mem.Line, instructions uint64, cfg Config) (*Result, error)
 
 	// Effective instructions: the probing period covers the full log;
 	// the histogram covers the post-warmup portion.
-	instrEff := effectiveInstructions(instructions, recorded, len(trace))
-	mpki := curveFromHist(hist, inf, instrEff, cfg)
+	instrEff := EffectiveInstructions(instructions, recorded, len(trace))
+	mpki := CurveFromHist(hist, inf, instrEff, cfg)
 
 	return &Result{
 		MRC:           &MRC{MPKI: mpki},

@@ -1,0 +1,546 @@
+// Package parstack is the parallel in-trace reuse-distance engine: it
+// splits one trace into K chunks, computes exact reuse distances inside
+// each chunk concurrently (Bennett–Kruskal marker counting over a Fenwick
+// tree, the PARDA decomposition), reconciles chunk boundaries in a serial
+// merge that resolves each chunk's first-touch references against the
+// upstream chunks' last-access tables, and then assembles the histogram,
+// MRC, warmup outcome, and modeled calculation cost from the distance
+// array. Results are bit-identical to the serial core.Compute — the
+// equivalence is property-tested against it, with the serial Fenwick
+// stack kept as the oracle.
+//
+// Why this works: the capacity-limited stack distance of a reference is
+// its unbounded LRU stack depth when that depth is ≤ StackLines, and
+// Infinite otherwise (the LRU inclusion property — a line at depth d sits
+// in every LRU cache of capacity ≥ d and no smaller one). The unbounded
+// depth is 1 + the number of distinct lines touched since the previous
+// access, which decomposes cleanly across a chunk boundary: distinct
+// lines strictly inside the chunk prefix (the first-touch record index)
+// plus distinct lines between the previous access and the chunk start
+// that are not re-touched in the prefix (a marker-tree range count during
+// the merge). Warmup and the cost model are then replayed from the
+// distance sequence alone — see walkmodel.go.
+package parstack
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"strconv"
+
+	"rapidmrc/internal/core"
+	"rapidmrc/internal/mem"
+	"rapidmrc/internal/runner"
+)
+
+// Distance-array sentinels. Resolved entries hold 1..StackLines for hits
+// and StackLines+1 for capacity misses (any depth beyond the stack is
+// equivalent — the serial engine reports them all as Infinite).
+const (
+	distCold       = -1 // first global touch: a cold miss
+	distUnresolved = 0  // chunk-local first touch, pending the merge
+)
+
+// errAllWarmup is the internal signal that warmup consumed every
+// reference; the exported entry points wrap it with their own phrasing.
+var errAllWarmup = errors.New("parstack: warmup consumed all references")
+
+// chunkRec is one first-touch record: the line, where it first appeared
+// in the chunk (the distance-array slot the merge must fill), and its
+// last access in the chunk (the marker position it contributes upstream).
+// last lives in the line table while the chunk pass runs — the hit path
+// must not touch a second random array — and is copied here by a single
+// sequential fixup sweep before the merge reads it.
+type chunkRec struct {
+	line        mem.Line
+	first, last int32
+}
+
+// chunk computes exact in-chunk reuse distances for refs[lo:hi] and
+// collects the first-touch records the merge resolves. Each chunk owns
+// its table and tree; only its own dist[lo:hi] range is written, so
+// chunks run concurrently with no shared mutable state.
+type chunk struct {
+	lo, hi int
+	recs   []chunkRec
+	table  *lineTable
+	tree   markerTree
+	sink   uint64 // keeps the prefetch touch loop's loads observable
+}
+
+// run processes the chunk. capC is the stack capacity; distances beyond
+// it are clamped to capC+1 (the merge and assembly never need the exact
+// value of a miss).
+func (c *chunk) run(refs []mem.Line, dist []int32, capC int32) {
+	n := c.hi - c.lo
+	c.tree.init(n)
+	// Size for a ~50% distinct-line fraction: chunk boundaries turn every
+	// cross-boundary reuse into a fresh first touch, so chunks see a far
+	// higher distinct fraction than the whole trace — and a mid-run
+	// rehash costs more than the larger initial clear.
+	c.table = newLineTable(n/2 + 16)
+	c.recs = make([]chunkRec, 0, n/2+16)
+	local := refs[c.lo:c.hi]
+	out := dist[c.lo:c.hi]
+	// Software pipelining: the table is far larger than the cache, so
+	// each probe is a memory stall — and probing refs one at a time
+	// serializes those stalls behind the tree work. Touching the home
+	// slots of a whole window first issues the loads independently, so
+	// the misses overlap; the logic pass then probes warm lines. The
+	// touch loop's XOR sink defeats dead-load elimination.
+	var sink uint64
+	for base := 0; base < n; base += probeWindow {
+		m := base + probeWindow
+		if m > n {
+			m = n
+		}
+		for _, line := range local[base:m] {
+			sink ^= uint64(c.table.slots[c.table.slot(line)].key)
+		}
+		for i := base; i < m; i++ {
+			line := local[i]
+			// First-probe fast path: the home slot resolves the great
+			// majority of lookups at ≤50% load, and a slot's key never
+			// changes once inserted — so a fresh hit here needs no call
+			// and no probe walk.
+			e := &c.table.slots[c.table.slot(line)]
+			var j int32
+			if e.key == line && e.val != 0 {
+				j = e.last
+				e.last = int32(i)
+			} else {
+				var seen bool
+				j, seen = c.table.touch(line, int32(len(c.recs)), int32(i))
+				if !seen {
+					c.recs = append(c.recs, chunkRec{line: line, first: int32(i)})
+					c.tree.mark(i)
+					out[i] = distUnresolved
+					continue
+				}
+			}
+			// Every marker sits below i (only prior positions are marked),
+			// so the markers strictly between j and i are the distinct
+			// lines seen so far minus those marked at or below j.
+			d := int32(len(c.recs)) - c.tree.prefixMove(int(j), i) + 1
+			if d > capC {
+				d = capC + 1
+			}
+			out[i] = d
+		}
+	}
+	c.sink = sink
+	// Fixup sweep: copy each line's final in-chunk position from the
+	// table (val = record index, last = position) into its record, one
+	// sequential pass over the slots.
+	for si := range c.table.slots {
+		e := &c.table.slots[si]
+		if e.val != 0 {
+			c.recs[e.val-1].last = e.last
+		}
+	}
+}
+
+// soleCompute is the single-chunk specialization: with no downstream
+// merge to feed, first touches are final cold misses, the table maps
+// lines straight to their last position, and no first-touch records
+// exist at all — the merge pass (and its global table and tree) is
+// skipped. It goes one step further than fusing out the merge: each
+// distance feeds the warmup machine, histogram, and walk model the
+// moment it is computed, so the distance array itself disappears —
+// no 4n-byte allocation, store stream, or second pass.
+func soleCompute(refs []mem.Line, instructions uint64, cfg core.Config, target int) (*core.Result, error) {
+	n := len(refs)
+	capC := int32(cfg.StackLines)
+	var c chunk
+	c.tree.init(n)
+	c.table = newLineTable(n/4 + 16)
+
+	staticLimit := int(float64(target) * cfg.StaticWarmupFrac)
+	fixed := cfg.FixedWarmupEntries >= 0
+	if fixed {
+		staticLimit = cfg.FixedWarmupEntries
+		if staticLimit >= target {
+			staticLimit = target - 1
+		}
+	}
+	// The histogram is accumulated in 32 bits — half the random-access
+	// footprint of the final []uint64 — and widened once at the end.
+	// Counts fit: each is at most n < 2^31.
+	hist32 := make([]uint32, capC+1)
+	var inf, hits uint64
+	wm := newWalkModel(int(capC), cfg.GroupSize)
+	warm, coldN := 0, 0
+	auto, warming := false, true
+	ucap := uint32(capC)
+	half, twice := wm.groupSize/2, 2*wm.groupSize
+
+	var distinct int32
+	var sink uint64
+	var home [probeWindow]uint64
+	for base := 0; base < n; base += probeWindow {
+		m := base + probeWindow
+		if m > n {
+			m = n
+		}
+		for o, line := range refs[base:m] {
+			h := c.table.slot(line)
+			home[o] = h
+			sink ^= uint64(c.table.slots[h].key)
+		}
+		for i := base; i < m; i++ {
+			line := refs[i]
+			e := &c.table.slots[home[i-base]]
+			var d int32
+			if e.key == line && e.val != 0 {
+				p := e.last
+				e.last = int32(i)
+				d = distinct - c.tree.prefixMove(int(p), i) + 1
+				if d > capC {
+					d = capC + 1
+				}
+			} else if p, seen := c.table.touch(line, 0, int32(i)); seen {
+				d = distinct - c.tree.prefixMove(int(p), i) + 1
+				if d > capC {
+					d = capC + 1
+				}
+			} else {
+				c.tree.mark(i)
+				distinct++
+				d = distCold
+			}
+			// Warmup replay, exit conditions checked before consuming —
+			// the reference that observes the boundary is the first
+			// recorded one, exactly as in assemble and the serial engine.
+			if warming {
+				if !fixed && coldN >= int(capC) {
+					auto, warming = true, false
+				} else if warm >= staticLimit {
+					warming = false
+				} else {
+					if d == distCold {
+						coldN++
+					}
+					warm = i + 1
+					if uint32(d-1) < ucap {
+						wm.hit(int(d))
+					} else {
+						wm.miss()
+					}
+					continue
+				}
+			}
+			// Steady phase, identical to assemble's inlined loop.
+			if uint32(d-1) < ucap {
+				hits++
+				hist32[d]++
+				h := wm.e - 1
+				if d <= wm.buf[h] {
+					after := wm.buf[h] - 1
+					if after > 0 && (int(after) >= half || wm.e-wm.s == 1) {
+						wm.walks++
+						continue
+					}
+				}
+				wm.hitSlow(int(d))
+			} else {
+				inf++
+				wm.walks += uint64(wm.e - wm.s)
+				h := wm.e - 1
+				wm.buf[h]++
+				wm.blocks[h/walkBlock]++
+				if int(wm.buf[h]) >= twice {
+					wm.splitHead()
+				}
+				wm.size++
+				if wm.size > wm.capacity {
+					wm.buf[wm.s]--
+					wm.blocks[wm.s/walkBlock]--
+					wm.size--
+					if wm.buf[wm.s] == 0 && wm.e-wm.s > 1 {
+						wm.s++
+					}
+				}
+			}
+		}
+	}
+	c.sink = sink
+	recorded := n - warm
+	if recorded == 0 {
+		return nil, errAllWarmup
+	}
+	hist := make([]uint64, capC+1)
+	for d, v := range hist32 {
+		hist[d] = uint64(v)
+	}
+	instrEff := core.EffectiveInstructions(instructions, recorded, n)
+	return &core.Result{
+		MRC:           core.NewMRC(core.CurveFromHist(hist, inf, instrEff, cfg)),
+		Hist:          hist,
+		InfMisses:     inf,
+		WarmupEntries: warm,
+		AutoWarmup:    auto,
+		Recorded:      recorded,
+		StackHitRate:  float64(hits) / float64(recorded),
+		Instructions:  instrEff,
+		ModelCycles:   uint64(n)*cfg.CostFixed + wm.walks*cfg.CostPerWalk,
+	}, nil
+}
+
+// probeWindow is the software-pipelining width of the chunk pass's table
+// probes — roughly the number of outstanding cache misses a core can
+// sustain.
+const probeWindow = 16
+
+// merge resolves every chunk's first-touch records, in chunk order,
+// against a global last-access view of all earlier chunks. For a record
+// with B earlier first-touches in its chunk and previous global access p,
+// the depth is B + |lines last-touched in (p, chunkStart)| + 1: the B
+// in-chunk lines were all first-touched before this reference (records
+// are in first-touch order), and processing records in that order has
+// already moved their markers to positions ≥ chunkStart — so the range
+// count over (p, chunkStart) counts exactly the upstream-only lines, with
+// no double counting.
+func merge(chunks []chunk, dist []int32, n int, capC int32) {
+	var gtree markerTree
+	gtree.init(n)
+	gtable := newLineTable(n/4 + 16)
+	var sink uint64
+	for ci := range chunks {
+		c := &chunks[ci]
+		cs := c.lo
+		// All of this chunk's range counts share cs as their upper end:
+		// csPrefix tracks the markers below the chunk start. It only
+		// changes when a seen record's move pulls its marker from p < cs
+		// up to this chunk — one decrement, no requery.
+		var csPrefix int32
+		if cs > 0 {
+			csPrefix = gtree.prefix(cs - 1)
+		}
+		touched := 0
+		for bi := range c.recs {
+			// Overlap gtable misses the same way the chunk pass does:
+			// touch the home slots of the next record window before
+			// probing any of them.
+			if bi == touched {
+				m := touched + probeWindow
+				if m > len(c.recs) {
+					m = len(c.recs)
+				}
+				for _, r := range c.recs[touched:m] {
+					sink ^= uint64(gtable.slots[gtable.slot(r.line)].key)
+				}
+				touched = m
+			}
+			r := &c.recs[bi]
+			last := int32(cs) + r.last
+			e := &gtable.slots[gtable.slot(r.line)]
+			var p int32
+			var seen bool
+			if e.key == r.line && e.val != 0 {
+				p, seen = e.val-1, true
+				e.val = last + 1
+			} else {
+				p, seen = gtable.swap(r.line, last)
+			}
+			if !seen {
+				dist[cs+int(r.first)] = distCold
+				gtree.mark(int(last))
+				continue
+			}
+			if int32(bi) >= capC {
+				// Depth ≥ B+1 > capacity regardless of the upstream count.
+				dist[cs+int(r.first)] = capC + 1
+				gtree.move(int(p), int(last))
+			} else {
+				d := int32(bi) + csPrefix - gtree.prefixMove(int(p), int(last)) + 1
+				if d > capC {
+					d = capC + 1
+				}
+				dist[cs+int(r.first)] = d
+			}
+			csPrefix--
+		}
+	}
+	chunks[0].sink ^= sink
+}
+
+// assemble replays the serial engine's warmup policy, histogram, and cost
+// model from the resolved distance array. target is the probing-period
+// length the static warmup fallback is a fraction of — len(refs) for the
+// batch path, the declared stream target for the feeder.
+func assemble(dist []int32, instructions uint64, cfg core.Config, target int) (*core.Result, error) {
+	n := len(dist)
+	capC := cfg.StackLines
+
+	staticLimit := int(float64(target) * cfg.StaticWarmupFrac)
+	fixed := cfg.FixedWarmupEntries >= 0
+	if fixed {
+		staticLimit = cfg.FixedWarmupEntries
+		if staticLimit >= target {
+			staticLimit = target - 1
+		}
+	}
+	hist := make([]uint64, capC+1)
+	var inf, hits uint64
+	wm := newWalkModel(capC, cfg.GroupSize)
+	// Warmup phase: the serial stack is Full exactly when the misses seen
+	// so far reach capacity, and before that point every miss is a cold
+	// (first-touch) miss — no eviction has happened yet, so nothing can
+	// re-miss. Cold entries in the distance array therefore replay Full()
+	// exactly. The loop exits on the first recorded reference, so the
+	// steady phase below carries no warmup branches at all.
+	warm, coldN := 0, 0
+	auto := false
+	ucap := uint32(capC)
+	i := 0
+	for ; i < n; i++ {
+		if !fixed && coldN >= capC {
+			auto = true
+			break
+		}
+		if warm >= staticLimit {
+			break
+		}
+		d := dist[i]
+		if d == distCold {
+			coldN++
+		}
+		warm = i + 1
+		if uint32(d-1) < ucap {
+			wm.hit(int(d))
+		} else {
+			wm.miss()
+		}
+	}
+	recorded := n - warm
+	if recorded == 0 {
+		return nil, errAllWarmup
+	}
+	// Steady phase: one unsigned compare classifies hit vs miss
+	// (uint32(d−1) < capC ⟺ 1 ≤ d ≤ capC; cold −1 and clamped capC+1
+	// both wrap out of range). The walkModel's two steady-state paths —
+	// the head-hit counter bump and the miss's push+evict — are inlined
+	// by hand: they run for ~every reference and the method-call versions
+	// (walkModel.hit, walkModel.miss) are beyond the inliner's budget.
+	half, twice := wm.groupSize/2, 2*wm.groupSize
+	for ; i < n; i++ {
+		d := dist[i]
+		if uint32(d-1) < ucap {
+			hits++
+			hist[d]++
+			h := wm.e - 1
+			if int32(d) <= wm.buf[h] {
+				after := wm.buf[h] - 1
+				if after > 0 && (int(after) >= half || wm.e-wm.s == 1) {
+					wm.walks++
+					continue
+				}
+			}
+			wm.hitSlow(int(d))
+		} else {
+			// wm.miss() followed by the always-taken evictTail.
+			inf++
+			wm.walks += uint64(wm.e - wm.s)
+			h := wm.e - 1
+			wm.buf[h]++
+			wm.blocks[h/walkBlock]++
+			if int(wm.buf[h]) >= twice {
+				wm.splitHead()
+			}
+			wm.size++
+			if wm.size > wm.capacity {
+				wm.buf[wm.s]--
+				wm.blocks[wm.s/walkBlock]--
+				wm.size--
+				if wm.buf[wm.s] == 0 && wm.e-wm.s > 1 {
+					wm.s++
+				}
+			}
+		}
+	}
+
+	instrEff := core.EffectiveInstructions(instructions, recorded, n)
+	return &core.Result{
+		MRC:           core.NewMRC(core.CurveFromHist(hist, inf, instrEff, cfg)),
+		Hist:          hist,
+		InfMisses:     inf,
+		WarmupEntries: warm,
+		AutoWarmup:    auto,
+		Recorded:      recorded,
+		StackHitRate:  float64(hits) / float64(recorded),
+		Instructions:  instrEff,
+		ModelCycles:   uint64(n)*cfg.CostFixed + wm.walks*cfg.CostPerWalk,
+	}, nil
+}
+
+// compute is the shared core of ComputeParallel and the feeder's
+// Snapshot: chunked distance computation, boundary merge, assembly.
+func compute(refs []mem.Line, instructions uint64, cfg core.Config, target, workers int) (*core.Result, error) {
+	n := len(refs)
+	if n >= math.MaxInt32 {
+		return nil, errors.New("parstack: trace of " + strconv.Itoa(n) + " entries exceeds the int32 position space")
+	}
+	// One chunk per runnable worker: every extra chunk only adds
+	// first-touch records for the serial merge to resolve, so splitting
+	// beyond GOMAXPROCS is pure overhead — chunks that cannot run
+	// concurrently buy nothing. (Distances are independent of the split;
+	// the worker-count equivalence tests pin that, raising GOMAXPROCS so
+	// multi-chunk merges are exercised even on small hosts.)
+	k := runner.Workers(workers)
+	if max := runtime.GOMAXPROCS(0); k > max {
+		k = max
+	}
+	if k > n {
+		k = n
+	}
+
+	if k == 1 {
+		return soleCompute(refs, instructions, cfg, target)
+	}
+
+	dist := make([]int32, n)
+	capC := int32(cfg.StackLines)
+	chunks := make([]chunk, k)
+	base, rem := n/k, n%k
+	lo := 0
+	for i := range chunks {
+		hi := lo + base
+		if i < rem {
+			hi++
+		}
+		chunks[i] = chunk{lo: lo, hi: hi}
+		lo = hi
+	}
+	if err := runner.ForEach(context.Background(), k, k, func(i int) error {
+		chunks[i].run(refs, dist, capC)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	merge(chunks, dist, n, capC)
+	return assemble(dist, instructions, cfg, target)
+}
+
+// ComputeParallel is the parallel equivalent of core.Compute: it produces
+// a bit-identical *core.Result (curve, histogram, warmup outcome, stack
+// hit rate, ModelCycles) using up to workers concurrent chunk passes.
+// workers follows runner.Workers semantics — n > 0 is used as given,
+// anything else means one per available CPU — and is additionally capped
+// at GOMAXPROCS: chunks that cannot run concurrently only inflate the
+// serial merge. The result is independent of the worker count.
+func ComputeParallel(trace []mem.Line, instructions uint64, cfg core.Config, workers int) (*core.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(trace) == 0 {
+		return nil, errors.New("parstack: empty trace log")
+	}
+	res, err := compute(trace, instructions, cfg, len(trace), workers)
+	if err == errAllWarmup {
+		return nil, errors.New("parstack: warmup consumed the entire " +
+			strconv.Itoa(len(trace)) + "-entry trace")
+	}
+	return res, err
+}

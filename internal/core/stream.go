@@ -183,11 +183,11 @@ func (e *StreamEngine) Snapshot(instructions uint64) (*Result, error) {
 	if e.recorded == 0 {
 		return nil, errors.New("core: warmup consumed all " + strconv.Itoa(e.consumed) + " entries fed so far")
 	}
-	instrEff := effectiveInstructions(instructions, e.recorded, e.consumed)
+	instrEff := EffectiveInstructions(instructions, e.recorded, e.consumed)
 	hist := make([]uint64, len(e.hist))
 	copy(hist, e.hist)
 	return &Result{
-		MRC:           &MRC{MPKI: curveFromHist(e.hist, e.inf, instrEff, e.cfg)},
+		MRC:           &MRC{MPKI: CurveFromHist(e.hist, e.inf, instrEff, e.cfg)},
 		Hist:          hist,
 		InfMisses:     e.inf,
 		WarmupEntries: e.warm,

@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -303,5 +304,44 @@ func TestStreamEngineErrors(t *testing.T) {
 	e.Feed(1)
 	if !e.Warming() {
 		t.Error("engine not warming after one entry")
+	}
+}
+
+// TestStreamSnapshotWhileWarming pins the mid-warm-up Snapshot contract:
+// at every prefix of the warmup phase the engine must return a clean,
+// descriptive error — never a partial Result and never a panic — and
+// must start answering the moment the first reference is recorded.
+func TestStreamSnapshotWhileWarming(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StackLines = 64
+	cfg.Points = 8
+	cfg.LinesPerPoint = 8
+	cfg.GroupSize = 4
+	const target = 1000
+	e, err := NewStreamEngine(cfg, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < target; i++ {
+		e.Feed(mem.Line(i % 200))
+		res, err := e.Snapshot(1_000)
+		if e.Warming() {
+			if err == nil {
+				t.Fatalf("entry %d: snapshot during warmup returned a result", i+1)
+			}
+			if res != nil {
+				t.Fatalf("entry %d: snapshot during warmup returned non-nil result alongside error", i+1)
+			}
+			if !strings.Contains(err.Error(), "warmup") {
+				t.Fatalf("entry %d: warmup snapshot error not descriptive: %v", i+1, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("entry %d: snapshot after warmup failed: %v", i+1, err)
+		}
+		if res.Recorded != e.Recorded() {
+			t.Fatalf("entry %d: snapshot recorded %d, engine %d", i+1, res.Recorded, e.Recorded())
+		}
 	}
 }

@@ -13,12 +13,13 @@ import (
 // bits; a clock read or a draw from the global math/rand source breaks
 // that silently.
 var deterministicPkgs = map[string]bool{
-	"rapidmrc/internal/core":     true,
-	"rapidmrc/internal/cache":    true,
-	"rapidmrc/internal/platform": true,
-	"rapidmrc/internal/pmu":      true,
-	"rapidmrc/internal/workload": true,
-	"rapidmrc/internal/prefetch": true,
+	"rapidmrc/internal/core":          true,
+	"rapidmrc/internal/core/parstack": true,
+	"rapidmrc/internal/cache":         true,
+	"rapidmrc/internal/platform":      true,
+	"rapidmrc/internal/pmu":           true,
+	"rapidmrc/internal/workload":      true,
+	"rapidmrc/internal/prefetch":      true,
 }
 
 // Determinism flags reads of ambient state — wall clock, the global

@@ -17,32 +17,39 @@ const internalPrefix = "rapidmrc/internal/"
 //	layer 0  mem
 //	layer 1  core cache cpu color prefetch pmu workload tracefile
 //	         contend runner prof report
-//	layer 2  platform partition phase
+//	layer 2  platform partition phase core/parstack
 //	layer 3  benchsuite dynamic
 //	layer 4  experiments
+//
+// Keys are either a top-level internal package name ("core") or an exact
+// sub-package path ("core/parstack"); the exact path wins, so a
+// sub-package can sit at a different layer than its parent (parstack
+// consumes core's serial engine as its oracle, so it must be above it).
+// Uncataloged sub-packages inherit the parent's layer.
 //
 // A new internal package must be added here before anything can import
 // it — an unknown package is itself a finding, so the catalog cannot rot.
 var pkgLayer = map[string]int{
-	"mem":         0,
-	"core":        1,
-	"cache":       1,
-	"cpu":         1,
-	"color":       1,
-	"prefetch":    1,
-	"pmu":         1,
-	"workload":    1,
-	"tracefile":   1,
-	"contend":     1,
-	"runner":      1,
-	"prof":        1,
-	"report":      1,
-	"platform":    2,
-	"partition":   2,
-	"phase":       2,
-	"benchsuite":  3,
-	"dynamic":     3,
-	"experiments": 4,
+	"mem":           0,
+	"core":          1,
+	"core/parstack": 2,
+	"cache":         1,
+	"cpu":           1,
+	"color":         1,
+	"prefetch":      1,
+	"pmu":           1,
+	"workload":      1,
+	"tracefile":     1,
+	"contend":       1,
+	"runner":        1,
+	"prof":          1,
+	"report":        1,
+	"platform":      2,
+	"partition":     2,
+	"phase":         2,
+	"benchsuite":    3,
+	"dynamic":       3,
+	"experiments":   4,
 }
 
 // exemptPkgs sit outside the simulator layering: the lint tooling itself
@@ -85,7 +92,7 @@ func runImportBoundary(pass *Pass) error {
 	var selfLayer int
 	var selfKnown, selfReported bool
 	if internal {
-		selfLayer, selfKnown = pkgLayer[topName(short)]
+		selfLayer, selfKnown = layerOf(short)
 	}
 	for _, f := range pass.Files {
 		for _, imp := range f.Imports {
@@ -109,7 +116,7 @@ func runImportBoundary(pass *Pass) error {
 				}
 				continue
 			}
-			impLayer, impKnown := pkgLayer[topName(impShort)]
+			impLayer, impKnown := layerOf(impShort)
 			if !impKnown {
 				pass.Reportf(imp.Pos(), "internal package %q is missing from the layering catalog (internal/lint/importboundary.go pkgLayer)", path)
 				continue
@@ -131,6 +138,17 @@ func runImportBoundary(pass *Pass) error {
 		}
 	}
 	return nil
+}
+
+// layerOf resolves the layer of an internal package given its path
+// relative to internalPrefix: an exact catalog entry wins, otherwise the
+// top-level package's entry applies to all of its sub-packages.
+func layerOf(short string) (int, bool) {
+	if l, ok := pkgLayer[short]; ok {
+		return l, true
+	}
+	l, ok := pkgLayer[topName(short)]
+	return l, ok
 }
 
 // topName maps "cache" or "cache/subpkg" to "cache".

@@ -90,9 +90,19 @@ func ForEach(ctx context.Context, workers, tasks int, fn func(i int) error) erro
 // All is ForEach with no error plumbing, for sweeps whose work cannot
 // fail: it runs fn(i) for every i in [0, tasks) on at most
 // Workers(workers) goroutines and waits for completion.
+//
+// Its contract is that no task was skipped — the callers (MRC sweeps,
+// experiment drivers) index into result slices the tasks fill, so a
+// silently abandoned task would surface later as a zero-valued
+// measurement. All therefore panics if ForEach reports an error. Today
+// that is unreachable (the context is never cancelled and fn cannot
+// fail), but discarding the error instead would turn any future ForEach
+// change into data corruption rather than a crash.
 func All(workers, tasks int, fn func(i int)) {
-	ForEach(context.Background(), workers, tasks, func(i int) error {
+	if err := ForEach(context.Background(), workers, tasks, func(i int) error {
 		fn(i)
 		return nil
-	})
+	}); err != nil {
+		panic("runner.All: sweep aborted: " + err.Error())
+	}
 }

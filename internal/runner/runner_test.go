@@ -143,3 +143,20 @@ func TestAllCompletes(t *testing.T) {
 		t.Fatalf("sum = %d", sum.Load())
 	}
 }
+
+// TestAllRunsEveryTaskOnce pins All's no-skipped-task contract — the
+// invariant its panic-on-error guards. The sweep callers fill result
+// slices by task index, so a dropped task would silently read back as a
+// zero measurement; every index must therefore run exactly once.
+func TestAllRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		const tasks = 137
+		seen := make([]atomic.Int32, tasks)
+		All(workers, tasks, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if n := seen[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}

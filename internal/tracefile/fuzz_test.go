@@ -31,6 +31,16 @@ func FuzzRead(f *testing.F) {
 	f.Add([]byte("RMRX\x01\x00\x00\x00")) // bad magic
 	f.Add([]byte{})                       // empty
 
+	// The final entry (delta from 0xfff00 to 0xfff01) is a single byte
+	// but the one before it is a multi-byte varint: seed every cut point
+	// across the last few bytes so the corpus covers a record missing
+	// entirely, cut after its first byte, and cut mid-continuation.
+	for cut := 1; cut <= 4; cut++ {
+		f.Add(valid[:len(valid)-cut])
+	}
+	// Body ends exactly at the header: count declares entries, none present.
+	f.Add(valid[:len(magic)+headerLen])
+
 	// Nonzero reserved flags.
 	flags := append([]byte(nil), valid...)
 	flags[6] = 0x80

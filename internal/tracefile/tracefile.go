@@ -291,15 +291,21 @@ func (r *Reader) Cycles() uint64 { return r.cycles }
 func (r *Reader) Len() int { return int(r.count) }
 
 // Next decodes the next entry. It returns io.EOF after the last declared
-// entry; a stream that ends early yields a wrapped ErrUnexpectedEOF.
+// entry. A stream that ends early — whether cut between entries or in
+// the middle of the final record's varint — yields an error that names
+// the truncation point against the declared count and wraps
+// io.ErrUnexpectedEOF, so callers can still match with errors.Is while
+// logs say which file byte range went missing rather than a bare
+// "unexpected EOF".
 func (r *Reader) Next() (mem.Line, error) {
 	if r.read >= r.count {
 		return 0, io.EOF
 	}
 	zz, err := binary.ReadUvarint(r.br)
 	if err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, fmt.Errorf("tracefile: truncated input: entry %d of %d declared in header: %w",
+				r.read, r.count, io.ErrUnexpectedEOF)
 		}
 		return 0, fmt.Errorf("tracefile: entry %d: %w", r.read, err)
 	}

@@ -2,8 +2,12 @@ package tracefile
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"io"
 	"math/rand"
 	"runtime"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -190,6 +194,51 @@ func TestReadHugeCountDoesNotPreallocate(t *testing.T) {
 	}
 	if grew := after.TotalAlloc - before.TotalAlloc; grew > 16<<20 {
 		t.Fatalf("reading a truncated huge-count header allocated %d bytes", grew)
+	}
+}
+
+// TestReaderTruncatedFinalRecord pins the incremental Reader's contract
+// for a file cut short in or before its last record: Next must return a
+// descriptive error — naming the entry index and the declared count, and
+// matching errors.Is(err, io.ErrUnexpectedEOF) — never a bare
+// "unexpected EOF" and never a panic. The multi-byte jump to 0xfff00
+// makes the penultimate delta a three-byte varint, so the cut sweep
+// covers both between-record and mid-varint truncation.
+func TestReaderTruncatedFinalRecord(t *testing.T) {
+	lines := []mem.Line{1, 2, 3, 0xfff00, 0xfff01}
+	var buf bytes.Buffer
+	if err := Write(&buf, &Trace{Lines: lines, Instructions: 7}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut <= 4; cut++ {
+		r, err := NewReader(bytes.NewReader(full[:len(full)-cut]))
+		if err != nil {
+			t.Fatalf("cut %d: header rejected: %v", cut, err)
+		}
+		var lastErr error
+		decoded := 0
+		for {
+			_, err := r.Next()
+			if err != nil {
+				lastErr = err
+				break
+			}
+			decoded++
+		}
+		if lastErr == io.EOF {
+			t.Fatalf("cut %d: truncated trace drained cleanly (%d entries)", cut, decoded)
+		}
+		if !errors.Is(lastErr, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d: error does not wrap io.ErrUnexpectedEOF: %v", cut, lastErr)
+		}
+		msg := lastErr.Error()
+		if !strings.Contains(msg, "truncated") || !strings.Contains(msg, "of 5") {
+			t.Fatalf("cut %d: error not descriptive: %q", cut, msg)
+		}
+		if !strings.Contains(msg, fmt.Sprintf("entry %d", decoded)) {
+			t.Fatalf("cut %d: error does not name failing entry %d: %q", cut, decoded, msg)
+		}
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"fmt"
 
 	"rapidmrc/internal/core"
+	"rapidmrc/internal/core/parstack"
 	"rapidmrc/internal/mem"
 )
 
@@ -192,7 +193,20 @@ func NewEngine(opts ...EngineOption) *Engine {
 // equivalence. A Stream is not safe for concurrent use.
 type Stream struct {
 	corr *core.StreamCorrector // nil when correction is disabled
-	eng  *core.StreamEngine
+	eng  streamCore
+}
+
+// streamCore is the incremental engine behind a Stream. Two
+// implementations exist: core.StreamEngine (O(stack) memory, O(points)
+// snapshots) and parstack.Feeder (buffers the trace, snapshots via the
+// chunk-parallel recompute). Both produce bit-identical results for the
+// same feed sequence, so a Stream behaves the same either way — only the
+// cost model differs.
+type streamCore interface {
+	Feed(mem.Line)
+	Consumed() int
+	Warming() bool
+	Snapshot(instructions uint64) (*core.Result, error)
 }
 
 // NewStream returns a stream expecting a probing period of targetEntries
@@ -205,6 +219,28 @@ func (e *Engine) NewStream(targetEntries int) (*Stream, error) {
 		return nil, err
 	}
 	s := &Stream{eng: se}
+	if e.correct {
+		s.corr = new(core.StreamCorrector)
+	}
+	return s, nil
+}
+
+// NewParallelStream is NewStream backed by the chunk-parallel engine:
+// the same Feed/Snapshot surface and bit-identical results, but each
+// snapshot runs the PARDA-style computation with up to workers
+// concurrent chunk passes (workers ≤ 0 means one per CPU, and the count
+// is further capped at GOMAXPROCS — splitting beyond the runnable
+// parallelism only inflates the serial merge). The trade: references
+// are buffered, so memory is O(entries fed) and every snapshot is a
+// full recompute. Prefer it when snapshots are taken once or twice per
+// probing period and trace throughput is the bottleneck; prefer
+// NewStream when snapshots are frequent or memory is tight.
+func (e *Engine) NewParallelStream(targetEntries, workers int) (*Stream, error) {
+	fd, err := parstack.NewFeeder(e.cfg, targetEntries, workers)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{eng: fd}
 	if e.correct {
 		s.corr = new(core.StreamCorrector)
 	}
@@ -253,6 +289,26 @@ func (s *Stream) Snapshot(instructions uint64) (*Curve, *Stats, error) {
 // Compute corrects the trace and runs the stack algorithm, returning the
 // raw (untransposed) curve.
 func (e *Engine) Compute(t *Trace) (*Curve, *Stats, error) {
+	return e.compute(t, func(lines []mem.Line, instr uint64) (*core.Result, error) {
+		return core.Compute(lines, instr, e.cfg)
+	})
+}
+
+// ComputeParallel is Compute with the trace itself processed in
+// parallel: the log is split into up to workers chunks whose reuse
+// distances are computed concurrently and reconciled at the boundaries
+// (workers ≤ 0 means one per CPU; the count is capped at GOMAXPROCS).
+// The result is bit-identical to Compute — curve, statistics, and
+// modeled cycles — the property tests pin the equivalence.
+func (e *Engine) ComputeParallel(t *Trace, workers int) (*Curve, *Stats, error) {
+	return e.compute(t, func(lines []mem.Line, instr uint64) (*core.Result, error) {
+		return parstack.ComputeParallel(lines, instr, e.cfg, workers)
+	})
+}
+
+// compute shares the correction and result translation between the
+// serial and parallel back-ends.
+func (e *Engine) compute(t *Trace, run func([]mem.Line, uint64) (*core.Result, error)) (*Curve, *Stats, error) {
 	if t == nil || len(t.Lines) == 0 {
 		return nil, nil, fmt.Errorf("rapidmrc: empty trace")
 	}
@@ -264,7 +320,7 @@ func (e *Engine) Compute(t *Trace) (*Curve, *Stats, error) {
 	if e.correct {
 		converted = core.CorrectPrefetchRepetitions(lines)
 	}
-	res, err := core.Compute(lines, t.Instructions, e.cfg)
+	res, err := run(lines, t.Instructions)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -21,14 +21,15 @@ type System struct {
 }
 
 type sysOptions struct {
-	mode        cpu.Mode
-	colors      color.Set
-	l3          bool
-	seed        int64
-	entries     int
-	refColors   int
-	traceBuffer int
-	workers     int
+	mode         cpu.Mode
+	colors       color.Set
+	l3           bool
+	seed         int64
+	entries      int
+	refColors    int
+	traceBuffer  int
+	workers      int
+	traceWorkers int
 }
 
 // SystemOption customizes a System or a workflow built on one.
@@ -73,6 +74,23 @@ func WithTraceEntries(n int) SystemOption {
 // CPU, 1 runs serially, n > 1 uses a pool of n goroutines.
 func WithParallelism(n int) SystemOption {
 	return func(o *sysOptions) { o.workers = n }
+}
+
+// WithTraceParallelism switches trace-processing workflows (Online,
+// System.Stream) to the chunk-parallel in-trace engine: the probing
+// period's log is split into up to n chunks whose reuse distances are
+// computed concurrently, then reconciled at the boundaries. Results are
+// bit-identical to the default engines; only the cost model changes
+// (streaming buffers the trace and snapshots are full recomputes — see
+// Engine.NewParallelStream). n ≤ 0 means one worker per CPU; the
+// default (option absent) keeps the serial engines.
+func WithTraceParallelism(n int) SystemOption {
+	return func(o *sysOptions) {
+		if n <= 0 {
+			n = -1 // distinguish "asked for auto" from "option absent" (0)
+		}
+		o.traceWorkers = n
+	}
 }
 
 // WithReferencePoint overrides the partition size whose measured miss
@@ -167,7 +185,14 @@ type StreamEpoch struct {
 // nil. The returned Stats carry the capture's artifact counts in addition
 // to the compute statistics.
 func (s *System) Stream(epochEntries int, onEpoch func(StreamEpoch)) (*Curve, *Stats, error) {
-	st, err := NewEngine().NewStream(s.opt.entries)
+	eng := NewEngine()
+	var st *Stream
+	var err error
+	if s.opt.traceWorkers != 0 {
+		st, err = eng.NewParallelStream(s.opt.entries, s.opt.traceWorkers)
+	} else {
+		st, err = eng.NewStream(s.opt.entries)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -248,7 +273,14 @@ func Online(app string, opts ...SystemOption) (*Curve, *Stats, *Trace, error) {
 	// 10-G-instruction mark; scaled here).
 	sys.Run(500_000)
 	trace := sys.Capture()
-	curve, stats, err := NewEngine().Compute(trace)
+	eng := NewEngine()
+	var curve *Curve
+	var stats *Stats
+	if sys.opt.traceWorkers != 0 {
+		curve, stats, err = eng.ComputeParallel(trace, sys.opt.traceWorkers)
+	} else {
+		curve, stats, err = eng.Compute(trace)
+	}
 	if err != nil {
 		return nil, nil, nil, err
 	}
