@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"rapidmrc"
 	"rapidmrc/internal/mem"
@@ -73,6 +74,11 @@ func main() {
 	}
 	if *simplified {
 		opts = append(opts, rapidmrc.WithSimplifiedMode())
+	}
+	// Translate flag shorthand to the option's strict domain: the options
+	// reject worker counts below 1, so "one per CPU" is spelled out here.
+	if *parTrace < 0 {
+		*parTrace = runtime.GOMAXPROCS(0)
 	}
 	if *parTrace != 0 {
 		opts = append(opts, rapidmrc.WithTraceParallelism(*parTrace))
@@ -135,9 +141,11 @@ func main() {
 		x[i] = float64(i + 1)
 	}
 	if *withReal {
-		realOpts := []rapidmrc.SystemOption{
-			rapidmrc.WithSeed(*seed),
-			rapidmrc.WithParallelism(*parallel),
+		realOpts := []rapidmrc.SystemOption{rapidmrc.WithSeed(*seed)}
+		if *parallel != 0 {
+			// Flag 0 = one worker per CPU, which is the option-absent
+			// default; the option itself rejects counts below 1.
+			realOpts = append(realOpts, rapidmrc.WithParallelism(*parallel))
 		}
 		real, err := rapidmrc.RealCurve(*app, realOpts...)
 		if err != nil {
@@ -200,6 +208,7 @@ func streamFromFile(path string, epoch, parTrace int) (*rapidmrc.Curve, *rapidmr
 	if err != nil {
 		return nil, nil, err
 	}
+	defer st.Close()
 	for {
 		l, err := r.Next()
 		if err == io.EOF {

@@ -55,23 +55,53 @@ func NewFeeder(cfg core.Config, target, workers int) (*Feeder, error) {
 		return nil, errors.New("parstack: stream target " + strconv.Itoa(target))
 	}
 	f := &Feeder{
-		cfg:     cfg,
-		target:  target,
-		workers: workers,
-		refs:    make([]mem.Line, 0, target),
-		warming: true,
-		seen:    newLineTable(1024),
+		cfg:   cfg,
+		refs:  make([]mem.Line, 0, target),
+		fixed: cfg.FixedWarmupEntries >= 0,
 	}
-	f.staticLimit = int(float64(target) * cfg.StaticWarmupFrac)
-	f.fixed = cfg.FixedWarmupEntries >= 0
+	if err := f.Reset(target, workers); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Reset returns the feeder to its initial state with a new target and
+// worker count, retaining the reference buffer's and first-touch table's
+// allocations — the reset-and-reuse entry point of the service engine
+// pool. A reset feeder behaves bit-identically to a newly constructed one
+// with the same configuration, target, and workers.
+func (f *Feeder) Reset(target, workers int) error {
+	if target <= 0 {
+		return errors.New("parstack: stream target " + strconv.Itoa(target))
+	}
+	f.target = target
+	f.workers = workers
+	f.refs = f.refs[:0]
+	f.warming = true
+	f.warm, f.coldN = 0, 0
+	f.auto = false
+	if f.seen == nil {
+		f.seen = newLineTable(1024)
+	} else {
+		f.seen.reset()
+	}
+	f.staticLimit = int(float64(target) * f.cfg.StaticWarmupFrac)
 	if f.fixed {
-		f.staticLimit = cfg.FixedWarmupEntries
+		f.staticLimit = f.cfg.FixedWarmupEntries
 		if f.staticLimit >= target {
 			f.staticLimit = target - 1
 		}
 	}
-	return f, nil
+	return nil
 }
+
+// Config returns the configuration the feeder was built with — the
+// matching key a pool uses to decide whether a retained feeder can serve
+// a request.
+func (f *Feeder) Config() core.Config { return f.cfg }
+
+// Workers returns the configured chunk-pass worker count.
+func (f *Feeder) Workers() int { return f.workers }
 
 // Feed consumes one corrected reference. It mirrors StreamEngine.Feed's
 // warmup bookkeeping: warmup ends the moment the (virtual) stack fills or

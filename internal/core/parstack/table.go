@@ -43,6 +43,14 @@ func (t *lineTable) alloc(size int) {
 	t.mask = uint64(size - 1)
 }
 
+// reset empties the table in place — one memclr over the slots (val 0
+// marks empty) — so a pooled consumer reuses the backing array instead of
+// reallocating it.
+func (t *lineTable) reset() {
+	clear(t.slots)
+	t.n = 0
+}
+
 //rapidmrc:hotpath
 func (t *lineTable) slot(k mem.Line) uint64 {
 	h := uint64(k) * 0x9E3779B97F4A7C15

@@ -32,6 +32,11 @@ type Stack interface {
 	// sub-linear, so the DESIGN.md §5 calibration is implementation-
 	// independent.
 	Walks() uint64
+	// Reset empties the stack and zeroes Walks while retaining its
+	// allocations, so a pooled engine can be recycled across probing
+	// periods without reconstruction. A reset stack is indistinguishable
+	// from a newly built one of the same geometry.
+	Reset()
 }
 
 // NaiveStack is the textbook O(n)-per-reference LRU stack. It exists as
@@ -78,6 +83,12 @@ func (s *NaiveStack) Full() bool { return len(s.lines) == s.capacity }
 
 // Walks implements Stack.
 func (s *NaiveStack) Walks() uint64 { return s.walks }
+
+// Reset implements Stack.
+func (s *NaiveStack) Reset() {
+	s.lines = s.lines[:0]
+	s.walks = 0
+}
 
 // DefaultGroupSize is the range-list group size. 64 balances the group
 // walk (capacity/64 pointer hops) against in-group copies.
@@ -131,6 +142,15 @@ func (s *WalkRangeStack) Full() bool { return s.size == s.capacity }
 
 // Walks implements Stack.
 func (s *WalkRangeStack) Walks() uint64 { return s.walks }
+
+// Reset implements Stack.
+func (s *WalkRangeStack) Reset() {
+	g := &rgroup{lines: make([]mem.Line, 0, 2*s.groupSize)}
+	s.head, s.tail = g, g
+	clear(s.index)
+	s.size = 0
+	s.walks = 0
+}
 
 // groupCount returns the current number of groups (used by the cost model
 // for miss-path walks).
@@ -459,6 +479,21 @@ func (s *RangeStack) Full() bool { return s.size == s.capacity }
 
 // Walks implements Stack.
 func (s *RangeStack) Walks() uint64 { return s.walks }
+
+// Reset implements Stack. Retired groups go to the recycling list, the
+// index is cleared in one pass (nil vals mark empty slots, so stale keys
+// are unreachable), and reindex rebuilds the now-trivial Fenwick tree —
+// no allocation survives to the next session's hot path.
+func (s *RangeStack) Reset() {
+	s.free = append(s.free, s.order[1:]...)
+	head := s.order[0]
+	head.lines = head.lines[:0]
+	s.order = s.order[:1]
+	clear(s.index.vals)
+	s.size = 0
+	s.walks = 0
+	s.reindex()
+}
 
 // add applies delta to the line count of the group at position pos. The
 // head (pos 0) is a plain counter — the hot-path push costs one add, not

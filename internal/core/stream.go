@@ -110,26 +110,48 @@ func NewStreamEngine(cfg Config, target int) (*StreamEngine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if target <= 0 {
-		return nil, errors.New("core: stream target " + strconv.Itoa(target))
-	}
 	e := &StreamEngine{
-		cfg:     cfg,
-		target:  target,
-		stack:   newStack(cfg.StackLines, cfg.GroupSize),
-		hist:    make([]uint64, cfg.StackLines+1),
-		warming: true,
+		cfg:   cfg,
+		stack: newStack(cfg.StackLines, cfg.GroupSize),
+		hist:  make([]uint64, cfg.StackLines+1),
+		fixed: cfg.FixedWarmupEntries >= 0,
 	}
-	e.staticLimit = int(float64(target) * cfg.StaticWarmupFrac)
-	e.fixed = cfg.FixedWarmupEntries >= 0
+	if err := e.Reset(target); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Reset returns the engine to its initial state with a new probing-period
+// target, retaining the stack's and histogram's allocations — the
+// reset-and-reuse entry point of the service engine pool. A reset engine
+// behaves bit-identically to a newly constructed one with the same
+// configuration and target; the pool property tests pin this.
+func (e *StreamEngine) Reset(target int) error {
+	if target <= 0 {
+		return errors.New("core: stream target " + strconv.Itoa(target))
+	}
+	e.target = target
+	e.stack.Reset()
+	clear(e.hist)
+	e.inf, e.hits = 0, 0
+	e.consumed, e.warm, e.recorded = 0, 0, 0
+	e.warming = true
+	e.auto = false
+	e.staticLimit = int(float64(target) * e.cfg.StaticWarmupFrac)
 	if e.fixed {
-		e.staticLimit = cfg.FixedWarmupEntries
+		e.staticLimit = e.cfg.FixedWarmupEntries
 		if e.staticLimit >= target {
 			e.staticLimit = target - 1
 		}
 	}
-	return e, nil
+	return nil
 }
+
+// Config returns the configuration the engine was built with — the
+// matching key a pool uses to decide whether a retained engine can serve
+// a request.
+func (e *StreamEngine) Config() Config { return e.cfg }
 
 // Feed consumes one corrected reference: during warmup it only primes the
 // stack; afterwards it records the stack distance into the histogram.

@@ -19,6 +19,7 @@ import (
 	"rapidmrc/internal/phase"
 	"rapidmrc/internal/platform"
 	"rapidmrc/internal/pmu"
+	"rapidmrc/internal/service"
 	"rapidmrc/internal/workload"
 )
 
@@ -47,6 +48,10 @@ type Config struct {
 	// ConvergedMPKI is the snapshot-to-snapshot distance below which the
 	// in-flight curve counts as settled.
 	ConvergedMPKI float64
+	// Pool supplies (and reclaims) the stream engines the controller's
+	// recomputations run on, so repeated probing periods reset and reuse
+	// engine state instead of reallocating it. Nil gets a private pool.
+	Pool *service.EnginePool
 }
 
 // DefaultConfig returns sensible controller parameters.
@@ -86,6 +91,7 @@ type Stats struct {
 // Controller drives a set of co-scheduled machines.
 type Controller struct {
 	cfg        Config
+	pool       *service.EnginePool
 	machines   []*platform.Machine
 	detectors  []*phase.Detector
 	curves     []*core.MRC
@@ -122,8 +128,13 @@ func New(apps []workload.Config, opt platform.CoRunOptions, cfg Config) (*Contro
 	}
 	machines := platform.NewCoScheduled(apps, partition.Sets(alloc), opt)
 
+	pool := cfg.Pool
+	if pool == nil {
+		pool = service.NewEnginePool(0)
+	}
 	c := &Controller{
 		cfg:        cfg,
+		pool:       pool,
 		machines:   machines,
 		alloc:      alloc,
 		curves:     make([]*core.MRC, n),
@@ -188,10 +199,11 @@ func (c *Controller) reprofile(i int) {
 	m := c.machines[i]
 	p := m.PMU()
 	m.ResetMetrics()
-	eng, err := core.NewStreamEngine(core.DefaultConfig(), c.cfg.TraceEntries)
+	eng, err := c.pool.Get(core.DefaultConfig(), c.cfg.TraceEntries, 0)
 	if err != nil {
 		return
 	}
+	defer c.pool.Put(eng)
 	var corr core.StreamCorrector
 	startInstr := m.Core().Instructions()
 	p.StartTraceTo(pmu.SinkFunc(func(l mem.Line) {

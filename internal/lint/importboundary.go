@@ -18,8 +18,14 @@ const internalPrefix = "rapidmrc/internal/"
 //	layer 1  core cache cpu color prefetch pmu workload tracefile
 //	         contend runner prof report
 //	layer 2  platform partition phase core/parstack
-//	layer 3  benchsuite dynamic
-//	layer 4  experiments
+//	layer 3  benchsuite service
+//	layer 4  dynamic
+//	layer 5  experiments
+//
+// service sits above the compute engines it pools (core, core/parstack)
+// and the platform it serves, but below dynamic: the closed-loop
+// controller draws its recomputation engines from a service pool, while
+// nothing in the compute core may reach up into the service layer.
 //
 // Keys are either a top-level internal package name ("core") or an exact
 // sub-package path ("core/parstack"); the exact path wins, so a
@@ -48,8 +54,9 @@ var pkgLayer = map[string]int{
 	"partition":     2,
 	"phase":         2,
 	"benchsuite":    3,
-	"dynamic":       3,
-	"experiments":   4,
+	"service":       3,
+	"dynamic":       4,
+	"experiments":   5,
 }
 
 // exemptPkgs sit outside the simulator layering: the lint tooling itself

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"errors"
+	"strconv"
+)
+
+// Typed lifecycle and admission errors. Callers dispatch on these with
+// errors.Is; the HTTP layer maps them to status codes.
+var (
+	// ErrTenantExists rejects a Register under an ID already in use.
+	ErrTenantExists = errors.New("service: tenant already registered")
+	// ErrUnknownTenant rejects an operation on an ID never registered
+	// (or already evicted).
+	ErrUnknownTenant = errors.New("service: unknown tenant")
+	// ErrOverloaded is the admission-shed sentinel: a Feed was rejected
+	// because the tenant's ingest queue or the global admission budget
+	// is full. Concrete sheds are *ShedError values matching this via
+	// errors.Is.
+	ErrOverloaded = errors.New("service: overloaded")
+	// ErrStreamClosed rejects feeding or snapshotting a finalized
+	// stream: a closed facade Stream, or an evicted tenant.
+	ErrStreamClosed = errors.New("service: stream closed")
+	// ErrDraining rejects new work while the service shuts down.
+	ErrDraining = errors.New("service: draining")
+)
+
+// ShedError reports one rejected ingest batch: which tenant, how much was
+// offered, and which bound (per-tenant queue or global budget) it hit.
+// It matches ErrOverloaded under errors.Is.
+type ShedError struct {
+	// Tenant is the destination tenant ID.
+	Tenant string
+	// Entries is the size of the rejected batch.
+	Entries int
+	// Queued is the tenant's queued+in-flight entry count at rejection.
+	Queued int
+	// Limit is the bound that was hit: the tenant's queue capacity, or
+	// the global admission budget when Global is set.
+	Limit int
+	// Global marks a global-budget shed (the tenant's own queue had
+	// room, but the service as a whole did not).
+	Global bool
+}
+
+// Error implements error.
+func (e *ShedError) Error() string {
+	bound := "tenant queue"
+	if e.Global {
+		bound = "global admission budget"
+	}
+	return "service: tenant " + e.Tenant + ": shed " + strconv.Itoa(e.Entries) +
+		"-entry batch (" + strconv.Itoa(e.Queued) + " queued, " + bound +
+		" limit " + strconv.Itoa(e.Limit) + ")"
+}
+
+// Is makes every shed match the ErrOverloaded sentinel.
+func (e *ShedError) Is(target error) bool { return target == ErrOverloaded }

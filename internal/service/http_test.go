@@ -1,0 +1,234 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rapidmrc/internal/core"
+)
+
+// doJSON issues a request with an optional JSON body and decodes the
+// JSON response into out (skipped when out is nil).
+func doJSON(t *testing.T, client *http.Client, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && err != io.EOF {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPFeedCurveBitIdentical(t *testing.T) {
+	trace := synthTrace(31, 4000)
+	raw := rawTrace(trace)
+	const instr = 555_555
+
+	svc := New(Config{})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	c := ts.Client()
+
+	if code := doJSON(t, c, "POST", ts.URL+"/tenants",
+		RegisterRequest{ID: "app", Target: len(trace)}, nil); code != http.StatusCreated {
+		t.Fatalf("register: status %d", code)
+	}
+	// Feed in two batches.
+	half := len(raw) / 2
+	for _, b := range []FeedRequest{
+		{Lines: raw[:half], Instructions: instr / 2},
+		{Lines: raw[half:], Instructions: instr - instr/2},
+	} {
+		var fr FeedResponse
+		if code := doJSON(t, c, "POST", ts.URL+"/tenants/app/feed", b, &fr); code != http.StatusAccepted {
+			t.Fatalf("feed: status %d", code)
+		}
+		if fr.Accepted != len(b.Lines) {
+			t.Fatalf("accepted %d, want %d", fr.Accepted, len(b.Lines))
+		}
+	}
+
+	var cr CurveResponse
+	if code := doJSON(t, c, "GET", ts.URL+"/tenants/app/curve?wait=1", nil, &cr); code != http.StatusOK {
+		t.Fatalf("curve: status %d", code)
+	}
+
+	// Reference: the same stream driven by hand.
+	eng, err := core.NewStreamEngine(core.DefaultConfig(), len(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corr core.StreamCorrector
+	for _, l := range trace {
+		eng.Feed(corr.Feed(l))
+	}
+	want, err := eng.Snapshot(instr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.MRC.MPKI, cr.MPKI) {
+		t.Fatalf("HTTP curve diverges:\nwant %v\ngot  %v", want.MRC.MPKI, cr.MPKI)
+	}
+	if cr.WarmupEntries != want.WarmupEntries || cr.AutoWarmup != want.AutoWarmup ||
+		cr.StackHitRate != want.StackHitRate || cr.Converted != corr.Converted() {
+		t.Errorf("curve metadata diverges: %+v", cr)
+	}
+
+	// Transposed read: the v-offset applied server-side must equal the
+	// in-process transposition.
+	ref := want.MRC.Clone()
+	wantShift := ref.Transpose(15, 2.5)
+	var tr CurveResponse
+	code := doJSON(t, c, "GET", ts.URL+"/tenants/app/curve?wait=1&transpose_at=16&measured=2.5", nil, &tr)
+	if code != http.StatusOK {
+		t.Fatalf("transposed curve: status %d", code)
+	}
+	if tr.Shift != wantShift || !reflect.DeepEqual(ref.MPKI, tr.MPKI) {
+		t.Fatalf("transposed curve diverges: shift %v vs %v", tr.Shift, wantShift)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	svc := New(Config{GlobalBudget: 32})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	c := ts.Client()
+
+	if code := doJSON(t, c, "GET", ts.URL+"/tenants/none/curve", nil, nil); code != http.StatusNotFound {
+		t.Errorf("unknown tenant curve: %d", code)
+	}
+	if code := doJSON(t, c, "DELETE", ts.URL+"/tenants/none", nil, nil); code != http.StatusNotFound {
+		t.Errorf("unknown tenant delete: %d", code)
+	}
+	if code := doJSON(t, c, "POST", ts.URL+"/tenants", RegisterRequest{ID: "a"}, nil); code != http.StatusCreated {
+		t.Fatalf("register: %d", code)
+	}
+	if code := doJSON(t, c, "POST", ts.URL+"/tenants", RegisterRequest{ID: "a"}, nil); code != http.StatusConflict {
+		t.Errorf("duplicate register: %d", code)
+	}
+	if code := doJSON(t, c, "POST", ts.URL+"/tenants", RegisterRequest{ID: "bad", Workers: -2}, nil); code != http.StatusBadRequest {
+		t.Errorf("invalid workers: %d", code)
+	}
+
+	// Overflow the global budget: typed shed detail on the 429.
+	var er struct {
+		Error string    `json:"error"`
+		Shed  *shedJSON `json:"shed"`
+	}
+	code := doJSON(t, c, "POST", ts.URL+"/tenants/a/feed",
+		FeedRequest{Lines: make([]uint64, 64), Instructions: 1}, &er)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overload: %d", code)
+	}
+	if er.Shed == nil || !er.Shed.Global || er.Shed.Entries != 64 || er.Shed.Limit != 32 {
+		t.Errorf("shed detail %+v", er.Shed)
+	}
+
+	// Snapshot with nothing fed: still warming → 400 family, not a hang.
+	if code := doJSON(t, c, "GET", ts.URL+"/tenants/a/curve?wait=1", nil, nil); code == http.StatusOK {
+		t.Error("empty snapshot succeeded")
+	}
+
+	if code := doJSON(t, c, "DELETE", ts.URL+"/tenants/a", nil, nil); code != http.StatusNoContent {
+		t.Errorf("evict: %d", code)
+	}
+	if code := doJSON(t, c, "GET", ts.URL+"/tenants/a/curve", nil, nil); code != http.StatusNotFound {
+		t.Errorf("curve after evict: %d", code)
+	}
+}
+
+func TestHTTPAdviceAndMetrics(t *testing.T) {
+	svc := New(Config{})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	c := ts.Client()
+
+	for i, seed := range []int64{41, 43} {
+		id := fmt.Sprintf("t%d", i)
+		trace := rawTrace(synthTrace(seed, 3000))
+		if code := doJSON(t, c, "POST", ts.URL+"/tenants",
+			RegisterRequest{ID: id, Target: len(trace)}, nil); code != http.StatusCreated {
+			t.Fatalf("register %s: %d", id, code)
+		}
+		if code := doJSON(t, c, "POST", ts.URL+"/tenants/"+id+"/feed",
+			FeedRequest{Lines: trace, Instructions: 100_000}, nil); code != http.StatusAccepted {
+			t.Fatalf("feed %s: %d", id, code)
+		}
+		if code := doJSON(t, c, "GET", ts.URL+"/tenants/"+id+"/curve?wait=1", nil, nil); code != http.StatusOK {
+			t.Fatalf("curve %s: %d", id, code)
+		}
+	}
+
+	var ar AdviceResponse
+	if code := doJSON(t, c, "GET", ts.URL+"/advice", nil, &ar); code != http.StatusOK {
+		t.Fatalf("advice: %d", code)
+	}
+	sum := 0
+	for _, n := range ar.Allocation {
+		sum += n
+	}
+	if len(ar.Allocation) != 2 || sum != DefaultColors {
+		t.Errorf("advice %+v: want 2 tenants summing to %d colors", ar, DefaultColors)
+	}
+	if code := doJSON(t, c, "GET", ts.URL+"/advice?colors=0", nil, nil); code != http.StatusBadRequest {
+		t.Error("colors=0 accepted")
+	}
+
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"rapidmrc_tenants 2",
+		`rapidmrc_tenant_fed_entries{tenant="t0"} 3000`,
+		`rapidmrc_tenant_queue_entries{tenant="t1"} 0`,
+		`rapidmrc_tenant_sheds{tenant="t0"} 0`,
+		"rapidmrc_budget_remaining_entries",
+		"rapidmrc_pool_misses",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	var ok map[string]bool
+	if code := doJSON(t, c, "GET", ts.URL+"/healthz", nil, &ok); code != http.StatusOK || !ok["ok"] {
+		t.Error("healthz failed")
+	}
+
+	// GET /tenants lists both with their stats.
+	var list []TenantStats
+	if code := doJSON(t, c, "GET", ts.URL+"/tenants", nil, &list); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if len(list) != 2 || list[0].ID != "t0" || list[1].ID != "t1" {
+		t.Errorf("tenant list %+v", list)
+	}
+}

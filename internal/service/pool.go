@@ -1,0 +1,172 @@
+// Package service is the tenant-capable core behind the facade and the
+// mrcd daemon: a registry of concurrently profiled workloads, a
+// capacity-bounded pool that recycles compute engines across tenants
+// (reset-and-reuse instead of reallocating the ~650 KB of stack, index,
+// and histogram state each probing period costs), and explicit
+// backpressure between capture and compute — bounded per-tenant ingest
+// queues under a global admission budget, shedding with a typed error
+// instead of blocking the producer.
+//
+// The facade's one-shot workflows (Online, System.Stream, Engine
+// streams) and the closed-loop manager route through the same pooled
+// lifecycle the daemon uses, so a host serving hundreds of tenants and a
+// single CLI invocation exercise identical compute paths; the property
+// tests pin the results bit-identical to the pre-service serial engines.
+package service
+
+import (
+	"sync"
+
+	"rapidmrc/internal/core"
+	"rapidmrc/internal/core/parstack"
+	"rapidmrc/internal/mem"
+)
+
+// Engine is the incremental compute core a stream or tenant drives:
+// either the serial core.StreamEngine (O(stack) memory, O(points)
+// snapshots) or the chunk-parallel parstack.Feeder (buffers the trace,
+// snapshots recompute in parallel). Both produce bit-identical results
+// for the same feed sequence.
+type Engine interface {
+	Feed(mem.Line)
+	Consumed() int
+	Warming() bool
+	Snapshot(instructions uint64) (*core.Result, error)
+}
+
+// PoolStats counts pool traffic, for the metrics endpoint.
+type PoolStats struct {
+	// IdleSerial and IdleParallel are the engines currently retained.
+	IdleSerial, IdleParallel int
+	// Hits counts Gets served by resetting a retained engine; Misses
+	// counts Gets that had to construct; Drops counts Puts discarded
+	// because the pool was at capacity.
+	Hits, Misses, Drops int
+}
+
+// EnginePool recycles stream engines across sessions and tenants. Get
+// either resets a retained engine of the matching configuration or
+// constructs a fresh one; Put returns an engine for reuse, dropping it
+// when the pool already holds its capacity (the bound keeps a burst of
+// evictions from pinning engine memory forever). The zero value is not
+// usable; use NewEnginePool. All methods are safe for concurrent use.
+//
+// Reset-and-reuse is bit-identity-preserving: a recycled engine produces
+// exactly the results a newly constructed one would, pinned by the pool
+// property tests.
+type EnginePool struct {
+	mu       sync.Mutex
+	capacity int
+	serial   []*core.StreamEngine
+	parallel []*parstack.Feeder
+	hits     int
+	misses   int
+	drops    int
+}
+
+// DefaultPoolCapacity bounds how many idle engines a pool retains when
+// the caller does not choose.
+const DefaultPoolCapacity = 64
+
+// NewEnginePool returns a pool retaining at most capacity idle engines
+// (serial and parallel pools each get the full bound); capacity <= 0
+// uses DefaultPoolCapacity.
+func NewEnginePool(capacity int) *EnginePool {
+	if capacity <= 0 {
+		capacity = DefaultPoolCapacity
+	}
+	return &EnginePool{capacity: capacity}
+}
+
+// Get returns an engine for one probing period: workers == 0 selects the
+// serial incremental engine, workers >= 1 the chunk-parallel feeder with
+// that many chunk passes. A retained engine is reused only when its
+// configuration matches cfg exactly; otherwise a fresh engine is built.
+func (p *EnginePool) Get(cfg core.Config, target, workers int) (Engine, error) {
+	if workers > 0 {
+		if f := p.takeParallel(cfg); f != nil {
+			if err := f.Reset(target, workers); err != nil {
+				return nil, err
+			}
+			return f, nil
+		}
+		return parstack.NewFeeder(cfg, target, workers)
+	}
+	if e := p.takeSerial(cfg); e != nil {
+		if err := e.Reset(target); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return core.NewStreamEngine(cfg, target)
+}
+
+// Put returns an engine obtained from Get (or built elsewhere) to the
+// pool. Engines beyond the pool's capacity, and nil or foreign Engine
+// implementations, are discarded.
+func (p *EnginePool) Put(e Engine) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch e := e.(type) {
+	case *core.StreamEngine:
+		if len(p.serial) < p.capacity {
+			p.serial = append(p.serial, e)
+			return
+		}
+	case *parstack.Feeder:
+		if len(p.parallel) < p.capacity {
+			p.parallel = append(p.parallel, e)
+			return
+		}
+	default:
+		return
+	}
+	p.drops++
+}
+
+// takeSerial pops a retained serial engine with the given configuration.
+func (p *EnginePool) takeSerial(cfg core.Config) *core.StreamEngine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := len(p.serial) - 1; i >= 0; i-- {
+		if p.serial[i].Config() == cfg {
+			e := p.serial[i]
+			p.serial[i] = p.serial[len(p.serial)-1]
+			p.serial = p.serial[:len(p.serial)-1]
+			p.hits++
+			return e
+		}
+	}
+	p.misses++
+	return nil
+}
+
+// takeParallel pops a retained feeder with the given configuration.
+func (p *EnginePool) takeParallel(cfg core.Config) *parstack.Feeder {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := len(p.parallel) - 1; i >= 0; i-- {
+		if p.parallel[i].Config() == cfg {
+			f := p.parallel[i]
+			p.parallel[i] = p.parallel[len(p.parallel)-1]
+			p.parallel = p.parallel[:len(p.parallel)-1]
+			p.hits++
+			return f
+		}
+	}
+	p.misses++
+	return nil
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *EnginePool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		IdleSerial:   len(p.serial),
+		IdleParallel: len(p.parallel),
+		Hits:         p.hits,
+		Misses:       p.misses,
+		Drops:        p.drops,
+	}
+}

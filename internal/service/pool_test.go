@@ -1,0 +1,184 @@
+package service
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rapidmrc/internal/core"
+	"rapidmrc/internal/mem"
+)
+
+// synthTrace builds a deterministic reference stream with reuse at mixed
+// distances, enough distinct lines to end warmup on small stacks.
+func synthTrace(seed int64, n int) []mem.Line {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]mem.Line, n)
+	for i := range out {
+		switch r.Intn(4) {
+		case 0: // tight reuse
+			out[i] = mem.Line(r.Intn(64))
+		case 1: // medium reuse
+			out[i] = mem.Line(256 + r.Intn(2048))
+		default: // wide footprint, mostly cold
+			out[i] = mem.Line(1_000_000 + i*7 + r.Intn(3))
+		}
+	}
+	return out
+}
+
+// feedSnap pushes a trace through an engine and snapshots it.
+func feedSnap(t *testing.T, e Engine, trace []mem.Line, instr uint64) *core.Result {
+	t.Helper()
+	for _, l := range trace {
+		e.Feed(l)
+	}
+	res, err := e.Snapshot(instr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPoolReuseBitIdentical is the pool's central property: an engine
+// recycled through Put/Get — carrying arbitrary prior state — produces
+// exactly the result a newly constructed engine does, for both the
+// serial and the chunk-parallel back-ends.
+func TestPoolReuseBitIdentical(t *testing.T) {
+	cfg := core.DefaultConfig()
+	dirty := synthTrace(1, 3000)
+	for _, workers := range []int{0, 3} {
+		pool := NewEnginePool(4)
+
+		// Dirty an engine with an unrelated stream, then recycle it.
+		first, err := pool.Get(cfg, len(dirty), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedSnap(t, first, dirty, 99_999)
+		pool.Put(first)
+
+		for round, seed := range []int64{7, 42, 1234} {
+			trace := synthTrace(seed, 2000+500*round)
+			reused, err := pool.Get(cfg, len(trace), workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if round == 0 && reused != first {
+				t.Fatalf("workers=%d: expected the recycled engine, got a fresh one", workers)
+			}
+			got := feedSnap(t, reused, trace, 123_456)
+
+			fresh, err := NewEnginePool(1).Get(cfg, len(trace), workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := feedSnap(t, fresh, trace, 123_456)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("workers=%d round %d: recycled engine diverges:\nwant %+v\ngot  %+v",
+					workers, round, want, got)
+			}
+			pool.Put(reused)
+		}
+		st := pool.Stats()
+		if st.Hits == 0 {
+			t.Errorf("workers=%d: no pool hits recorded: %+v", workers, st)
+		}
+	}
+}
+
+// TestPoolConfigMatching checks that a retained engine only serves
+// requests for its exact configuration.
+func TestPoolConfigMatching(t *testing.T) {
+	cfg := core.DefaultConfig()
+	other := cfg
+	other.StaticWarmupFrac = 0.25
+
+	pool := NewEnginePool(4)
+	e, err := pool.Get(cfg, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(e)
+
+	got, err := pool.Get(other, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == e {
+		t.Fatal("engine with mismatched config was reused")
+	}
+	if got.(*core.StreamEngine).Config() != other {
+		t.Fatalf("Get returned config %+v, want %+v", got.(*core.StreamEngine).Config(), other)
+	}
+	back, err := pool.Get(cfg, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != e {
+		t.Fatal("retained matching engine was not reused")
+	}
+}
+
+// TestPoolCapacity checks the retention bound and the drop counter.
+func TestPoolCapacity(t *testing.T) {
+	cfg := core.DefaultConfig()
+	pool := NewEnginePool(2)
+	engines := make([]Engine, 3)
+	for i := range engines {
+		e, err := pool.Get(cfg, 100, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = e
+	}
+	for _, e := range engines {
+		pool.Put(e)
+	}
+	st := pool.Stats()
+	if st.IdleSerial != 2 {
+		t.Errorf("IdleSerial = %d, want 2", st.IdleSerial)
+	}
+	if st.Drops != 1 {
+		t.Errorf("Drops = %d, want 1", st.Drops)
+	}
+}
+
+// fakeEngine is a foreign Engine implementation the pool must refuse.
+type fakeEngine struct{}
+
+func (fakeEngine) Feed(mem.Line)                         {}
+func (fakeEngine) Consumed() int                         { return 0 }
+func (fakeEngine) Warming() bool                         { return false }
+func (fakeEngine) Snapshot(uint64) (*core.Result, error) { return nil, nil }
+
+// TestPoolRejectsForeignEngines checks Put ignores nil and unknown types.
+func TestPoolRejectsForeignEngines(t *testing.T) {
+	pool := NewEnginePool(2)
+	pool.Put(nil)
+	pool.Put(fakeEngine{})
+	st := pool.Stats()
+	if st.IdleSerial != 0 || st.IdleParallel != 0 {
+		t.Errorf("foreign engines retained: %+v", st)
+	}
+}
+
+// TestPoolRejectsBadTarget checks Get validates the target for both
+// fresh construction and reset-reuse.
+func TestPoolRejectsBadTarget(t *testing.T) {
+	cfg := core.DefaultConfig()
+	pool := NewEnginePool(2)
+	for _, workers := range []int{0, 2} {
+		if _, err := pool.Get(cfg, 0, workers); err == nil {
+			t.Errorf("workers=%d: target 0 accepted on construction", workers)
+		}
+		e, err := pool.Get(cfg, 100, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Put(e)
+		if _, err := pool.Get(cfg, -3, workers); err == nil {
+			t.Errorf("workers=%d: negative target accepted on reset", workers)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+package service
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rapidmrc/internal/core"
+	"rapidmrc/internal/mem"
+)
+
+// TenantConfig parameterizes one registered workload.
+type TenantConfig struct {
+	// Target is the probing-period length in log entries — the basis of
+	// the engine's static-warmup fallback, exactly as in
+	// core.NewStreamEngine. Zero uses DefaultTarget.
+	Target int
+	// Workers selects the engine: 0 runs the serial incremental engine;
+	// n >= 1 runs the chunk-parallel feeder with n chunk passes (which
+	// buffers the trace and recomputes at each snapshot). Negative is
+	// rejected at Register time.
+	Workers int
+	// NoCorrection disables the streaming prefetch-repetition rewrite
+	// (the zero value keeps the paper's correction on).
+	NoCorrection bool
+	// MaxQueued bounds the tenant's ingest queue in entries
+	// (queued + in-flight). Zero uses the service default.
+	MaxQueued int
+	// EpochEntries > 0 auto-snapshots the live curve every that many
+	// entries fed, so polls can read the latest epoch without forcing a
+	// recompute. Zero disables auto-epochs (snapshots on demand only).
+	EpochEntries int
+	// Engine overrides the compute configuration; the zero value uses
+	// core.DefaultConfig().
+	Engine core.Config
+}
+
+// DefaultTarget is the paper's probing-period length (§5.2.3).
+const DefaultTarget = 160_000
+
+// Epoch is one snapshot of a tenant's live curve.
+type Epoch struct {
+	// Entries is the number of log entries fed when the snapshot was
+	// taken; Instructions the accumulated application progress.
+	Entries      int
+	Instructions uint64
+	// Result is the raw (untransposed) computation result.
+	Result *core.Result
+	// Converted counts prefetch-repetition rewrites so far.
+	Converted int
+}
+
+// TenantStats is one tenant's counter snapshot, for /metrics and
+// /tenants/{id}/stats.
+type TenantStats struct {
+	ID string
+	// Entries is the number of log entries fed into the engine;
+	// Instructions the accumulated progress reported with them.
+	Entries      int
+	Instructions uint64
+	// QueuedEntries and QueuedBatches describe the ingest queue;
+	// InFlightEntries is the batch currently being computed.
+	QueuedEntries   int
+	QueuedBatches   int
+	InFlightEntries int
+	// Batches counts accepted ingest batches; Sheds counts rejected
+	// ones (per-tenant bound or global budget).
+	Batches int
+	Sheds   int
+	// Epochs counts snapshots taken (auto and on demand);
+	// LastEpochNanos is the latest snapshot's compute latency.
+	Epochs         int
+	LastEpochNanos int64
+	// Converted, Warming mirror the engine state.
+	Converted bool
+	Warming   bool
+	// Closed reports a finalized (evicted or drained) tenant.
+	Closed bool
+}
+
+// batch is one accepted ingest unit.
+type batch struct {
+	lines []uint64
+	instr uint64
+}
+
+// Tenant is one registered workload: a pooled engine, its streaming
+// corrector, and a bounded ingest queue drained by a dedicated worker
+// goroutine. Producers never block: a full queue or an exhausted global
+// budget sheds the batch with a typed error. Tenants are created by
+// Service.Register.
+type Tenant struct {
+	id  string
+	svc *Service
+	cfg TenantConfig
+
+	// mu guards the engine, corrector, and last epoch. The worker holds
+	// it while feeding a batch; snapshots hold it while computing.
+	mu   sync.Mutex
+	eng  Engine // nil once finalized (engine returned to the pool)
+	corr *core.StreamCorrector
+	last *Epoch
+	next int // next auto-epoch boundary (entries)
+
+	// qmu guards the ingest queue and lifecycle flags. qcond wakes the
+	// worker (work arrived, or closing); dcond wakes Flush waiters
+	// (queue fully drained, or worker exited).
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	dcond    *sync.Cond
+	queue    []batch
+	head     int
+	qentries int
+	inflight int
+	closed   bool
+	closeErr error
+	discard  bool
+	exited   bool
+
+	done chan struct{}
+
+	entries   atomic.Int64
+	instr     atomic.Uint64
+	batches   atomic.Int64
+	sheds     atomic.Int64
+	epochs    atomic.Int64
+	lastNanos atomic.Int64
+}
+
+// newTenant builds a tenant and starts its worker.
+func newTenant(id string, svc *Service, cfg TenantConfig, eng Engine) *Tenant {
+	t := &Tenant{id: id, svc: svc, cfg: cfg, eng: eng, done: make(chan struct{})}
+	if !cfg.NoCorrection {
+		t.corr = new(core.StreamCorrector)
+	}
+	if cfg.EpochEntries > 0 {
+		t.next = cfg.EpochEntries
+	}
+	t.qcond = sync.NewCond(&t.qmu)
+	t.dcond = sync.NewCond(&t.qmu)
+	go t.run()
+	return t
+}
+
+// ID returns the tenant's registry key.
+func (t *Tenant) ID() string { return t.id }
+
+// Config returns the tenant's configuration (after defaulting).
+func (t *Tenant) Config() TenantConfig { return t.cfg }
+
+// Feed offers one batch of raw logged cache-line addresses, with the
+// application's instruction progress over the batch. It never blocks:
+// the batch is copied into the bounded ingest queue, or rejected — with
+// a *ShedError (matching ErrOverloaded) when the tenant's queue or the
+// service's global admission budget is full, or the tenant's closing
+// error once it is finalized.
+func (t *Tenant) Feed(lines []uint64, instructions uint64) error {
+	n := len(lines)
+	if n == 0 {
+		return nil
+	}
+	t.qmu.Lock()
+	if t.closed {
+		err := t.closeErr
+		t.qmu.Unlock()
+		return err
+	}
+	if t.qentries+t.inflight+n > t.cfg.MaxQueued {
+		queued := t.qentries + t.inflight
+		t.qmu.Unlock()
+		t.sheds.Add(1)
+		return &ShedError{Tenant: t.id, Entries: n, Queued: queued, Limit: t.cfg.MaxQueued}
+	}
+	if !t.svc.tryAcquire(n) {
+		queued := t.qentries + t.inflight
+		t.qmu.Unlock()
+		t.sheds.Add(1)
+		return &ShedError{Tenant: t.id, Entries: n, Queued: queued,
+			Limit: t.svc.cfg.GlobalBudget, Global: true}
+	}
+	cp := make([]uint64, n)
+	copy(cp, lines)
+	t.queue = append(t.queue, batch{lines: cp, instr: instructions})
+	t.qentries += n
+	t.qcond.Signal()
+	t.qmu.Unlock()
+	t.batches.Add(1)
+	return nil
+}
+
+// run is the tenant's worker: it drains the ingest queue into the engine
+// one batch at a time, releasing the global budget as batches complete
+// and taking auto-epoch snapshots at the configured cadence.
+func (t *Tenant) run() {
+	defer close(t.done)
+	for {
+		t.qmu.Lock()
+		for t.head == len(t.queue) && !t.closed {
+			t.qcond.Wait()
+		}
+		if t.head == len(t.queue) && t.closed {
+			discard := t.discard
+			t.exited = true
+			t.dcond.Broadcast()
+			t.qmu.Unlock()
+			if !discard {
+				// Graceful close (drain): cache a final epoch so the
+				// curve stays readable via Live after the engine is gone.
+				t.mu.Lock()
+				if t.eng != nil && !t.eng.Warming() {
+					if ep, err := t.snapshotLocked(); err == nil {
+						t.last = ep
+					}
+				}
+				t.mu.Unlock()
+			}
+			t.recycle()
+			return
+		}
+		b := t.queue[t.head]
+		t.queue[t.head] = batch{}
+		t.head++
+		if t.head == len(t.queue) {
+			t.queue = t.queue[:0]
+			t.head = 0
+		}
+		t.qentries -= len(b.lines)
+		t.inflight = len(b.lines)
+		discard := t.discard
+		t.qmu.Unlock()
+
+		if !discard {
+			t.consume(b)
+		}
+		t.svc.release(len(b.lines))
+
+		t.qmu.Lock()
+		t.inflight = 0
+		if t.head == len(t.queue) {
+			t.dcond.Broadcast()
+		}
+		t.qmu.Unlock()
+	}
+}
+
+// consume feeds one batch into the engine and takes any due auto-epoch.
+func (t *Tenant) consume(b batch) {
+	t.mu.Lock()
+	t.feedLines(b.lines)
+	t.entries.Add(int64(len(b.lines)))
+	t.instr.Add(b.instr)
+	if t.cfg.EpochEntries > 0 && t.eng.Consumed() >= t.next && !t.eng.Warming() {
+		if ep, err := t.snapshotLocked(); err == nil {
+			t.last = ep
+		}
+		for t.next <= t.eng.Consumed() {
+			t.next += t.cfg.EpochEntries
+		}
+	}
+	t.mu.Unlock()
+}
+
+// feedLines pushes one batch through the streaming corrector into the
+// engine — the pooled feed path every tenant reference crosses.
+//
+//rapidmrc:hotpath
+func (t *Tenant) feedLines(lines []uint64) {
+	if t.corr != nil {
+		for _, l := range lines {
+			t.eng.Feed(t.corr.Feed(mem.Line(l)))
+		}
+		return
+	}
+	for _, l := range lines {
+		t.eng.Feed(mem.Line(l))
+	}
+}
+
+// snapshotLocked computes a fresh epoch; the caller holds t.mu and has
+// checked t.eng is live.
+func (t *Tenant) snapshotLocked() (*Epoch, error) {
+	start := time.Now()
+	res, err := t.eng.Snapshot(t.instr.Load())
+	if err != nil {
+		return nil, err
+	}
+	t.lastNanos.Store(int64(time.Since(start)))
+	t.epochs.Add(1)
+	converted := 0
+	if t.corr != nil {
+		converted = t.corr.Converted()
+	}
+	return &Epoch{
+		Entries:      t.eng.Consumed(),
+		Instructions: t.instr.Load(),
+		Result:       res,
+		Converted:    converted,
+	}, nil
+}
+
+// Snapshot computes a fresh epoch from everything fed so far. With wait
+// set it first flushes the ingest queue, so the snapshot covers every
+// accepted batch — the read used for final, bit-exact curves. It fails
+// with the closing error once the tenant is finalized, or while warmup
+// has consumed everything fed.
+func (t *Tenant) Snapshot(wait bool) (*Epoch, error) {
+	if wait {
+		t.Flush()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.eng == nil {
+		return nil, t.finalErr()
+	}
+	return t.snapshotLocked()
+}
+
+// Live returns the latest epoch without forcing a recompute: the last
+// auto-epoch (or explicit snapshot) if one exists, otherwise a fresh
+// snapshot attempt.
+func (t *Tenant) Live() (*Epoch, error) {
+	t.mu.Lock()
+	if t.last != nil {
+		ep := t.last
+		t.mu.Unlock()
+		return ep, nil
+	}
+	t.mu.Unlock()
+	return t.Snapshot(false)
+}
+
+// Flush blocks until the ingest queue is fully drained (or the worker
+// has exited). The wait is bounded: the queue is capacity-limited and
+// only drains.
+func (t *Tenant) Flush() {
+	t.qmu.Lock()
+	for (t.head != len(t.queue) || t.inflight > 0) && !t.exited {
+		t.dcond.Wait()
+	}
+	t.qmu.Unlock()
+}
+
+// Stats returns the tenant's counter snapshot.
+func (t *Tenant) Stats() TenantStats {
+	t.qmu.Lock()
+	queuedEntries := t.qentries
+	queuedBatches := len(t.queue) - t.head
+	inflight := t.inflight
+	closed := t.closed
+	t.qmu.Unlock()
+	t.mu.Lock()
+	warming := t.eng != nil && t.eng.Warming()
+	t.mu.Unlock()
+	return TenantStats{
+		ID:              t.id,
+		Entries:         int(t.entries.Load()),
+		Instructions:    t.instr.Load(),
+		QueuedEntries:   queuedEntries,
+		QueuedBatches:   queuedBatches,
+		InFlightEntries: inflight,
+		Batches:         int(t.batches.Load()),
+		Sheds:           int(t.sheds.Load()),
+		Epochs:          int(t.epochs.Load()),
+		LastEpochNanos:  t.lastNanos.Load(),
+		Converted:       t.corr != nil,
+		Warming:         warming,
+		Closed:          closed,
+	}
+}
+
+// close finalizes the tenant: subsequent feeds fail with reason, and the
+// worker exits once the queue empties — draining it into the engine, or
+// discarding it (releasing the budget either way). Idempotent.
+func (t *Tenant) close(reason error, discard bool) {
+	t.qmu.Lock()
+	if !t.closed {
+		t.closed = true
+		t.closeErr = reason
+		t.discard = discard
+	}
+	t.qcond.Broadcast()
+	t.qmu.Unlock()
+}
+
+// recycle returns the engine to the pool once the worker has exited; any
+// later Snapshot fails instead of touching a recycled engine.
+func (t *Tenant) recycle() {
+	t.mu.Lock()
+	eng := t.eng
+	t.eng = nil
+	t.mu.Unlock()
+	if eng != nil {
+		t.svc.pool.Put(eng)
+	}
+}
+
+// finalErr is the error a finalized tenant's reads fail with.
+func (t *Tenant) finalErr() error {
+	t.qmu.Lock()
+	defer t.qmu.Unlock()
+	if t.closeErr != nil {
+		return t.closeErr
+	}
+	return ErrStreamClosed
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (t *Tenant) String() string {
+	return "tenant " + t.id + " (" + strconv.Itoa(int(t.entries.Load())) + " entries)"
+}

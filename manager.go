@@ -53,8 +53,15 @@ func NewManager(apps []string, opts ...SystemOption) (*Manager, error) {
 	for _, fn := range opts {
 		fn(&o)
 	}
+	if o.err != nil {
+		return nil, o.err
+	}
 	dcfg := dynamic.DefaultConfig()
 	dcfg.TraceEntries = o.entries
+	// Recomputation engines come from the facade's shared pool: a manager
+	// probing its gang repeatedly reuses the same engines the one-shot
+	// workflows do.
+	dcfg.Pool = enginePool
 	ctl, err := dynamic.New(cfgs, platform.CoRunOptions{
 		Mode:        o.mode,
 		L3Enabled:   o.l3,

@@ -1,0 +1,146 @@
+package rapidmrc
+
+import (
+	"reflect"
+	"testing"
+)
+
+// declining builds a monotone curve from a start MPKI and a per-color
+// decay factor.
+func declining(start, decay float64, points int) *Curve {
+	c := &Curve{MPKI: make([]float64, points)}
+	v := start
+	for i := range c.MPKI {
+		c.MPKI[i] = v
+		v *= decay
+	}
+	return c
+}
+
+// TestChoosePartitionStability checks the advice is a pure function:
+// repeated calls over the same curves return the identical split, the
+// split covers exactly the color budget, and the shape is sensible (the
+// cache-hungry application gets the larger share).
+func TestChoosePartitionStability(t *testing.T) {
+	hungry := declining(60, 0.80, Colors) // keeps gaining from more cache
+	modest := declining(20, 0.99, Colors) // nearly flat: cache-insensitive
+
+	a0, b0 := ChoosePartition(hungry, modest, Colors)
+	if a0+b0 != Colors || a0 < 1 || b0 < 1 {
+		t.Fatalf("split %d+%d does not cover %d colors", a0, b0, Colors)
+	}
+	if a0 <= b0 {
+		t.Errorf("cache-hungry app got %d colors, modest got %d", a0, b0)
+	}
+	for i := 0; i < 50; i++ {
+		a, b := ChoosePartition(hungry, modest, Colors)
+		if a != a0 || b != b0 {
+			t.Fatalf("call %d: advice drifted from %d/%d to %d/%d", i, a0, b0, a, b)
+		}
+	}
+
+	// The N-way form agrees with itself and covers the budget too.
+	curves := []*Curve{hungry, modest, declining(40, 0.9, Colors)}
+	first := ChoosePartitionN(curves, Colors)
+	sum := 0
+	for _, n := range first {
+		sum += n
+	}
+	if sum != Colors || len(first) != len(curves) {
+		t.Fatalf("N-way advice %v does not cover %d colors", first, Colors)
+	}
+	for i := 0; i < 50; i++ {
+		if got := ChoosePartitionN(curves, Colors); !reflect.DeepEqual(first, got) {
+			t.Fatalf("call %d: N-way advice drifted from %v to %v", i, first, got)
+		}
+	}
+	// A single application gets the whole cache.
+	if got := ChoosePartitionN([]*Curve{hungry}, Colors); !reflect.DeepEqual(got, []int{Colors}) {
+		t.Errorf("single-app advice = %v, want all %d colors", got, Colors)
+	}
+
+	// Repeated advice over the same tenant curves must also hold through
+	// the pair helper with the arguments swapped: symmetry of the split.
+	b1, a1 := ChoosePartition(modest, hungry, Colors)
+	if a1 != a0 || b1 != b0 {
+		t.Errorf("swapped advice %d/%d, want %d/%d", a1, b1, a0, b0)
+	}
+}
+
+// TestManagerLifecycle exercises the closed-loop manager's edges: a
+// zero-interval run, incremental runs accumulating state, and the
+// allocation invariant after control activity.
+func TestManagerLifecycle(t *testing.T) {
+	mgr, err := NewManager([]string{"crafty", "gzip", "mcf"},
+		WithSeed(3), WithTraceEntries(6_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A zero-interval run is a no-op, not a crash.
+	if st := mgr.Run(0); st.Intervals != 0 {
+		t.Errorf("Run(0) reports %d intervals", st.Intervals)
+	}
+	// The initial allocation is the even split, remainder to the front.
+	if got := mgr.Allocation(); !reflect.DeepEqual(got, []int{6, 5, 5}) {
+		t.Errorf("initial allocation %v, want [6 5 5]", got)
+	}
+
+	// Incremental runs accumulate: stats are lifetime, not per-call.
+	st1 := mgr.Run(2)
+	st2 := mgr.Run(3)
+	if st1.Intervals != 2 || st2.Intervals != 5 {
+		t.Errorf("intervals after staged runs: %d then %d, want 2 then 5", st1.Intervals, st2.Intervals)
+	}
+
+	// The allocation always covers the full cache, whatever the
+	// controller decided.
+	sum := 0
+	for _, n := range mgr.Allocation() {
+		sum += n
+	}
+	if sum != Colors {
+		t.Errorf("allocation %v does not cover %d colors", mgr.Allocation(), Colors)
+	}
+
+	// Results report every application with its current share.
+	res := mgr.Results()
+	if len(res) != 3 {
+		t.Fatalf("Results has %d entries", len(res))
+	}
+	alloc := mgr.Allocation()
+	for i, r := range res {
+		if r.Colors != alloc[i] {
+			t.Errorf("result %d colors %d, allocation says %d", i, r.Colors, alloc[i])
+		}
+		if r.Instructions == 0 {
+			t.Errorf("result %d reports no progress", i)
+		}
+	}
+
+	// Allocation returns a copy: mutating it must not corrupt control.
+	mgr.Allocation()[0] = 99
+	if mgr.Allocation()[0] == 99 {
+		t.Error("Allocation leaks internal state")
+	}
+}
+
+// TestManagerDeterminism pins the closed-loop run: identical seeds give
+// identical control decisions end to end (the pooled recomputation
+// engines change nothing).
+func TestManagerDeterminism(t *testing.T) {
+	run := func() ([]int, ManagerStats) {
+		mgr, err := NewManager([]string{"crafty", "gzip"},
+			WithSeed(11), WithTraceEntries(6_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := mgr.Run(6)
+		return mgr.Allocation(), st
+	}
+	a1, s1 := run()
+	a2, s2 := run()
+	if !reflect.DeepEqual(a1, a2) || s1 != s2 {
+		t.Errorf("manager runs diverged: %v %+v vs %v %+v", a1, s1, a2, s2)
+	}
+}

@@ -35,11 +35,24 @@ package rapidmrc
 
 import (
 	"fmt"
+	"runtime"
 
 	"rapidmrc/internal/core"
-	"rapidmrc/internal/core/parstack"
 	"rapidmrc/internal/mem"
+	"rapidmrc/internal/service"
 )
+
+// ErrStreamClosed is returned by Stream.Feed and Stream.Snapshot after
+// Close has finalized the stream (its engine has been recycled into the
+// shared pool). Dispatch with errors.Is.
+var ErrStreamClosed = service.ErrStreamClosed
+
+// enginePool recycles stream engines across every facade workflow:
+// Engine streams, the batch Compute entry points (and through them
+// Online), System.Stream, and the Manager's recomputations all draw
+// from and return to this pool, so repeated probing periods reset and
+// reuse the ~stack-sized engine state instead of reallocating it.
+var enginePool = service.NewEnginePool(0)
 
 // Colors is the number of partition colors (and MRC points) on the
 // modeled platform.
@@ -191,22 +204,13 @@ func NewEngine(opts ...EngineOption) *Engine {
 // bit-identical to Engine.Compute over the same trace (given the same
 // target length and instruction count); the property tests pin this
 // equivalence. A Stream is not safe for concurrent use.
+//
+// Streams draw their engine from the shared pool; Close recycles it.
+// An abandoned (never closed) stream is still collected normally — its
+// engine is simply not reused.
 type Stream struct {
 	corr *core.StreamCorrector // nil when correction is disabled
-	eng  streamCore
-}
-
-// streamCore is the incremental engine behind a Stream. Two
-// implementations exist: core.StreamEngine (O(stack) memory, O(points)
-// snapshots) and parstack.Feeder (buffers the trace, snapshots via the
-// chunk-parallel recompute). Both produce bit-identical results for the
-// same feed sequence, so a Stream behaves the same either way — only the
-// cost model differs.
-type streamCore interface {
-	Feed(mem.Line)
-	Consumed() int
-	Warming() bool
-	Snapshot(instructions uint64) (*core.Result, error)
+	eng  service.Engine        // nil once closed
 }
 
 // NewStream returns a stream expecting a probing period of targetEntries
@@ -214,7 +218,7 @@ type streamCore interface {
 // fraction of (batch Compute reads it from len(trace); a stream must be
 // told up front).
 func (e *Engine) NewStream(targetEntries int) (*Stream, error) {
-	se, err := core.NewStreamEngine(e.cfg, targetEntries)
+	se, err := enginePool.Get(e.cfg, targetEntries, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -228,15 +232,19 @@ func (e *Engine) NewStream(targetEntries int) (*Stream, error) {
 // NewParallelStream is NewStream backed by the chunk-parallel engine:
 // the same Feed/Snapshot surface and bit-identical results, but each
 // snapshot runs the PARDA-style computation with up to workers
-// concurrent chunk passes (workers ≤ 0 means one per CPU, and the count
-// is further capped at GOMAXPROCS — splitting beyond the runnable
-// parallelism only inflates the serial merge). The trade: references
-// are buffered, so memory is O(entries fed) and every snapshot is a
-// full recompute. Prefer it when snapshots are taken once or twice per
-// probing period and trace throughput is the bottleneck; prefer
-// NewStream when snapshots are frequent or memory is tight.
+// concurrent chunk passes (the count is capped at GOMAXPROCS —
+// splitting beyond the runnable parallelism only inflates the serial
+// merge). workers must be at least 1; pass runtime.GOMAXPROCS(0) for
+// one per CPU. The trade: references are buffered, so memory is
+// O(entries fed) and every snapshot is a full recompute. Prefer it when
+// snapshots are taken once or twice per probing period and trace
+// throughput is the bottleneck; prefer NewStream when snapshots are
+// frequent or memory is tight.
 func (e *Engine) NewParallelStream(targetEntries, workers int) (*Stream, error) {
-	fd, err := parstack.NewFeeder(e.cfg, targetEntries, workers)
+	if workers < 1 {
+		return nil, fmt.Errorf("rapidmrc: parallel stream workers must be at least 1, got %d (use runtime.GOMAXPROCS(0) for one per CPU)", workers)
+	}
+	fd, err := enginePool.Get(e.cfg, targetEntries, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -247,21 +255,48 @@ func (e *Engine) NewParallelStream(targetEntries, workers int) (*Stream, error) 
 	return s, nil
 }
 
-// Feed consumes one raw logged cache-line address.
-func (s *Stream) Feed(line uint64) {
+// Feed consumes one raw logged cache-line address. It fails with
+// ErrStreamClosed once the stream has been closed.
+func (s *Stream) Feed(line uint64) error {
+	if s.eng == nil {
+		return ErrStreamClosed
+	}
 	l := mem.Line(line)
 	if s.corr != nil {
 		l = s.corr.Feed(l)
 	}
 	s.eng.Feed(l)
+	return nil
 }
 
-// Entries returns the number of references fed so far.
-func (s *Stream) Entries() int { return s.eng.Consumed() }
+// Close finalizes the stream and recycles its engine into the shared
+// pool; subsequent Feed and Snapshot calls fail with ErrStreamClosed.
+// Closing an already-closed stream is a no-op.
+func (s *Stream) Close() error {
+	if s.eng == nil {
+		return nil
+	}
+	enginePool.Put(s.eng)
+	s.eng = nil
+	return nil
+}
+
+// Entries returns the number of references fed so far (0 once closed).
+func (s *Stream) Entries() int {
+	if s.eng == nil {
+		return 0
+	}
+	return s.eng.Consumed()
+}
 
 // Warming reports whether the stream is still inside the warmup phase;
-// snapshots fail until it ends.
-func (s *Stream) Warming() bool { return s.eng.Warming() }
+// snapshots fail until it ends. A closed stream is not warming.
+func (s *Stream) Warming() bool {
+	if s.eng == nil {
+		return false
+	}
+	return s.eng.Warming()
+}
 
 // Snapshot builds the raw (untransposed) curve from everything fed so far
 // — the epoch-based mid-stream read. instructions is the application's
@@ -269,6 +304,9 @@ func (s *Stream) Warming() bool { return s.eng.Warming() }
 // normalization. The stream may keep feeding afterwards; the snapshot is
 // an independent copy. It fails while warmup has consumed everything fed.
 func (s *Stream) Snapshot(instructions uint64) (*Curve, *Stats, error) {
+	if s.eng == nil {
+		return nil, nil, ErrStreamClosed
+	}
 	res, err := s.eng.Snapshot(instructions)
 	if err != nil {
 		return nil, nil, err
@@ -289,9 +327,7 @@ func (s *Stream) Snapshot(instructions uint64) (*Curve, *Stats, error) {
 // Compute corrects the trace and runs the stack algorithm, returning the
 // raw (untransposed) curve.
 func (e *Engine) Compute(t *Trace) (*Curve, *Stats, error) {
-	return e.compute(t, func(lines []mem.Line, instr uint64) (*core.Result, error) {
-		return core.Compute(lines, instr, e.cfg)
-	})
+	return e.compute(t, 0)
 }
 
 // ComputeParallel is Compute with the trace itself processed in
@@ -301,14 +337,20 @@ func (e *Engine) Compute(t *Trace) (*Curve, *Stats, error) {
 // The result is bit-identical to Compute — curve, statistics, and
 // modeled cycles — the property tests pin the equivalence.
 func (e *Engine) ComputeParallel(t *Trace, workers int) (*Curve, *Stats, error) {
-	return e.compute(t, func(lines []mem.Line, instr uint64) (*core.Result, error) {
-		return parstack.ComputeParallel(lines, instr, e.cfg, workers)
-	})
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return e.compute(t, workers)
 }
 
 // compute shares the correction and result translation between the
-// serial and parallel back-ends.
-func (e *Engine) compute(t *Trace, run func([]mem.Line, uint64) (*core.Result, error)) (*Curve, *Stats, error) {
+// serial and parallel back-ends. Both route through the shared engine
+// pool: the trace is batch-corrected, fed into a pooled engine (serial
+// for workers == 0, chunk-parallel otherwise) with the trace length as
+// its target — which reproduces the batch computation bit-identically,
+// pinned by the stream-vs-batch property tests — and the engine is
+// recycled afterwards.
+func (e *Engine) compute(t *Trace, workers int) (*Curve, *Stats, error) {
 	if t == nil || len(t.Lines) == 0 {
 		return nil, nil, fmt.Errorf("rapidmrc: empty trace")
 	}
@@ -320,7 +362,15 @@ func (e *Engine) compute(t *Trace, run func([]mem.Line, uint64) (*core.Result, e
 	if e.correct {
 		converted = core.CorrectPrefetchRepetitions(lines)
 	}
-	res, err := run(lines, t.Instructions)
+	eng, err := enginePool.Get(e.cfg, len(lines), workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, l := range lines {
+		eng.Feed(l)
+	}
+	res, err := eng.Snapshot(t.Instructions)
+	enginePool.Put(eng)
 	if err != nil {
 		return nil, nil, err
 	}

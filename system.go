@@ -30,6 +30,16 @@ type sysOptions struct {
 	traceBuffer  int
 	workers      int
 	traceWorkers int
+	// err records the first invalid option; constructors surface it
+	// instead of building a system (validate-at-apply-time).
+	err error
+}
+
+// fail records the first option error.
+func (o *sysOptions) fail(err error) {
+	if o.err == nil {
+		o.err = err
+	}
 }
 
 // SystemOption customizes a System or a workflow built on one.
@@ -70,10 +80,19 @@ func WithTraceEntries(n int) SystemOption {
 }
 
 // WithParallelism bounds the worker pool used by sweeping workflows
-// (RealCurve's 16 per-size runs): 0 (the default) uses one worker per
-// CPU, 1 runs serially, n > 1 uses a pool of n goroutines.
+// (RealCurve's 16 per-size runs): 1 runs serially, n > 1 uses a pool of
+// n goroutines. Omitting the option uses one worker per CPU. n < 1 is
+// rejected — the error surfaces from the constructor the options are
+// passed to (pass runtime.GOMAXPROCS(0) to ask for one per CPU
+// explicitly).
 func WithParallelism(n int) SystemOption {
-	return func(o *sysOptions) { o.workers = n }
+	return func(o *sysOptions) {
+		if n < 1 {
+			o.fail(fmt.Errorf("rapidmrc: WithParallelism requires at least 1 worker, got %d (omit the option for one per CPU)", n))
+			return
+		}
+		o.workers = n
+	}
 }
 
 // WithTraceParallelism switches trace-processing workflows (Online,
@@ -82,12 +101,15 @@ func WithParallelism(n int) SystemOption {
 // computed concurrently, then reconciled at the boundaries. Results are
 // bit-identical to the default engines; only the cost model changes
 // (streaming buffers the trace and snapshots are full recomputes — see
-// Engine.NewParallelStream). n ≤ 0 means one worker per CPU; the
-// default (option absent) keeps the serial engines.
+// Engine.NewParallelStream). n < 1 is rejected — the error surfaces
+// from the constructor the options are passed to (pass
+// runtime.GOMAXPROCS(0) for one worker per CPU); the default (option
+// absent) keeps the serial engines.
 func WithTraceParallelism(n int) SystemOption {
 	return func(o *sysOptions) {
-		if n <= 0 {
-			n = -1 // distinguish "asked for auto" from "option absent" (0)
+		if n < 1 {
+			o.fail(fmt.Errorf("rapidmrc: WithTraceParallelism requires at least 1 worker, got %d (use runtime.GOMAXPROCS(0) for one per CPU)", n))
+			return
 		}
 		o.traceWorkers = n
 	}
@@ -125,6 +147,9 @@ func NewSystem(app string, opts ...SystemOption) (*System, error) {
 	o := defaultSysOptions()
 	for _, fn := range opts {
 		fn(&o)
+	}
+	if o.err != nil {
+		return nil, o.err
 	}
 	m := platform.NewMachine(workload.New(cfg, o.seed), platform.Options{
 		Mode:        o.mode,
@@ -196,6 +221,7 @@ func (s *System) Stream(epochEntries int, onEpoch func(StreamEpoch)) (*Curve, *S
 	if err != nil {
 		return nil, nil, err
 	}
+	defer st.Close()
 	startInstr := s.m.Core().Instructions()
 	next := epochEntries
 	sink := pmu.SinkFunc(func(l mem.Line) {
@@ -251,6 +277,9 @@ func RealCurve(app string, opts ...SystemOption) (*Curve, error) {
 	o := defaultSysOptions()
 	for _, fn := range opts {
 		fn(&o)
+	}
+	if o.err != nil {
+		return nil, o.err
 	}
 	rc := platform.DefaultRealMRCConfig()
 	rc.Mode = o.mode
@@ -327,6 +356,9 @@ func CoRun(apps []string, alloc []int, warmup, slice uint64, opts ...SystemOptio
 	o := defaultSysOptions()
 	for _, fn := range opts {
 		fn(&o)
+	}
+	if o.err != nil {
+		return nil, o.err
 	}
 	parts := make([]color.Set, len(apps))
 	if alloc == nil {
