@@ -9,6 +9,7 @@
 //
 //	mrcd -addr :7712
 //	mrcd -addr 127.0.0.1:0 -budget 1048576 -max-queued 65536 -epoch 8000
+//	mrcd -approx-threshold 0.35   # serve analytical estimates, escalate when uncertain
 //
 // API (see service.NewHandler for the full contract):
 //
@@ -42,12 +43,13 @@ import (
 
 // config carries the daemon's flag values.
 type config struct {
-	addr         string
-	globalBudget int
-	maxQueued    int
-	poolCap      int
-	epochEntries int
-	drainTimeout time.Duration
+	addr            string
+	globalBudget    int
+	maxQueued       int
+	poolCap         int
+	epochEntries    int
+	approxThreshold float64
+	drainTimeout    time.Duration
 }
 
 // daemon couples the service core with its HTTP front end. It is built
@@ -63,10 +65,11 @@ type daemon struct {
 // ":0"-style for an ephemeral port).
 func newDaemon(cfg config) (*daemon, error) {
 	svc := service.New(service.Config{
-		GlobalBudget: cfg.globalBudget,
-		MaxQueued:    cfg.maxQueued,
-		PoolCapacity: cfg.poolCap,
-		EpochEntries: cfg.epochEntries,
+		GlobalBudget:    cfg.globalBudget,
+		MaxQueued:       cfg.maxQueued,
+		PoolCapacity:    cfg.poolCap,
+		EpochEntries:    cfg.epochEntries,
+		ApproxThreshold: cfg.approxThreshold,
 	})
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -114,6 +117,8 @@ func main() {
 	flag.IntVar(&cfg.poolCap, "pool", 0, "idle engine pool capacity (0 = default)")
 	flag.IntVar(&cfg.epochEntries, "epoch", 0,
 		"default auto-snapshot cadence in entries (0 = snapshot on demand only)")
+	flag.Float64Var(&cfg.approxThreshold, "approx-threshold", 0,
+		"default analytical-tier uncertainty threshold for tenants that do not set their own (0 = analytical tier off)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second,
 		"how long to wait for in-flight requests on shutdown")
 	flag.Parse()

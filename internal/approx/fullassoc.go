@@ -1,0 +1,69 @@
+package approx
+
+import "rapidmrc/internal/core"
+
+// FullyAssociative is the analytical fully-associative LRU cache model:
+// under the working-set view, a reference with reuse time t finds
+// c(t) = Σ_{s=1..t} P(reuse > s) distinct lines stacked above its
+// previous access, so its expected stack distance is c(t). The model
+// maps every histogram bucket to that expected distance, synthesizing a
+// stack-distance histogram without simulating a stack, and integrates it
+// through the exact core.CurveFromHist pipeline — so the only
+// approximation is reuse-time → distance, not the curve integration.
+//
+// Like CheFagin it is a single O(buckets) pass; the two models agree on
+// smooth reuse distributions and diverge on cliffs, which the tiered
+// policy exploits as a disagreement signal.
+type FullyAssociative struct{}
+
+// Name implements Estimator.
+func (FullyAssociative) Name() string { return "fullassoc" }
+
+// Estimate implements Estimator.
+func (FullyAssociative) Estimate(p *Profile, instructions uint64) (*Estimate, error) {
+	if p.recorded == 0 {
+		return nil, ErrNoSamples
+	}
+	n := float64(p.recorded)
+	cfg := p.cfg
+	hist := make([]uint64, cfg.StackLines+1)
+	inf := p.over + p.cold
+
+	c := 0.0
+	p.walk(func(width int, count, tailBefore, tailAfter uint64) bool {
+		pStart := float64(tailBefore) / n
+		pEnd := float64(tailAfter) / n
+		cNext := c + float64(width)*(pStart+pEnd)/2
+		if count > 0 {
+			// Expected stack distance for this bucket's references: the
+			// working-set integral at the bucket midpoint.
+			d := int((c + cNext) / 2)
+			if d < 1 {
+				d = 1
+			}
+			if d > cfg.StackLines {
+				inf += count
+			} else {
+				hist[d] += count
+			}
+		}
+		c = cNext
+		return true
+	})
+
+	instrEff := core.EffectiveInstructions(instructions, p.recorded, p.consumed)
+	mpki := core.CurveFromHist(hist, inf, instrEff, cfg)
+	ratio := make([]float64, len(mpki))
+	for i, v := range mpki {
+		ratio[i] = v * float64(instrEff) / (1000 * n)
+	}
+	clampMonotone(ratio)
+	return &Estimate{
+		Estimator:   "fullassoc",
+		MRC:         core.NewMRC(mpki),
+		MissRatio:   ratio,
+		Uncertainty: uncertainty(p, ratio, nil),
+		Recorded:    p.recorded,
+		InstrEff:    instrEff,
+	}, nil
+}

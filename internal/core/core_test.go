@@ -318,6 +318,24 @@ func TestTransposeClampsAtZero(t *testing.T) {
 	}
 }
 
+// TestTransposeRejectsNonFinite is the regression test for the NaN
+// poisoning bug: transposing to a NaN or infinite target used to smear
+// the non-finite value across every point of the curve. The guard leaves
+// the curve untouched and reports a zero shift.
+func TestTransposeRejectsNonFinite(t *testing.T) {
+	for _, target := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		m := NewMRC([]float64{10, 4, 1, 0.5})
+		if s := m.Transpose(1, target); s != 0 {
+			t.Errorf("Transpose(%v) shift = %v, want 0", target, s)
+		}
+		for i, v := range []float64{10, 4, 1, 0.5} {
+			if m.MPKI[i] != v {
+				t.Fatalf("Transpose(%v) mutated the curve: %v", target, m.MPKI)
+			}
+		}
+	}
+}
+
 func TestDistanceMetric(t *testing.T) {
 	a := NewMRC([]float64{1, 2, 3, 4})
 	b := NewMRC([]float64{2, 2, 5, 4})

@@ -96,6 +96,11 @@ func (m *MRC) At(colors int) float64 { return m.MPKI[colors-1] }
 // a negative MPKI is non-physical and would corrupt downstream consumers
 // (partition.ChoosePair sums curve points when sizing splits).
 func (m *MRC) Transpose(refIdx int, target float64) float64 {
+	// A non-finite target would smear NaN/Inf across every point; refuse
+	// to move the curve rather than corrupt it.
+	if math.IsNaN(target) || math.IsInf(target, 0) {
+		return 0
+	}
 	shift := target - m.MPKI[refIdx]
 	for i := range m.MPKI {
 		m.MPKI[i] += shift

@@ -12,6 +12,7 @@ package dynamic
 import (
 	"fmt"
 
+	"rapidmrc/internal/approx"
 	"rapidmrc/internal/color"
 	"rapidmrc/internal/core"
 	"rapidmrc/internal/mem"
@@ -48,22 +49,39 @@ type Config struct {
 	// ConvergedMPKI is the snapshot-to-snapshot distance below which the
 	// in-flight curve counts as settled.
 	ConvergedMPKI float64
+	// ConvergenceWindow is how many consecutive settled snapshot pairs
+	// end a probing period early — the phase.NewConvergence window, which
+	// used to be hard-coded at 2. Larger windows demand more evidence
+	// before cutting a capture short; zero or negative uses
+	// DefaultConvergenceWindow.
+	ConvergenceWindow int
+	// ApproxThreshold enables the tiered probing path: a recomputation
+	// first runs a sampler-only probe (an O(1)-per-sample reuse-time
+	// histogram — no Mattson engine) and keeps the analytical curve when
+	// its uncertainty score is within the threshold, escalating to a full
+	// engine probe otherwise. Zero keeps every probe on the full engine.
+	ApproxThreshold float64
 	// Pool supplies (and reclaims) the stream engines the controller's
 	// recomputations run on, so repeated probing periods reset and reuse
 	// engine state instead of reallocating it. Nil gets a private pool.
 	Pool *service.EnginePool
 }
 
+// DefaultConvergenceWindow is the settle window reprofile always used
+// before it became configurable.
+const DefaultConvergenceWindow = 2
+
 // DefaultConfig returns sensible controller parameters.
 func DefaultConfig() Config {
 	return Config{
-		IntervalInstr:   1_000_000,
-		TraceEntries:    40_000,
-		Detector:        phase.DefaultConfig(),
-		MinGainMPKI:     0.5,
-		Colors:          color.NumColors,
-		SnapshotEntries: 8_000,
-		ConvergedMPKI:   0.25,
+		IntervalInstr:     1_000_000,
+		TraceEntries:      40_000,
+		Detector:          phase.DefaultConfig(),
+		MinGainMPKI:       0.5,
+		Colors:            color.NumColors,
+		SnapshotEntries:   8_000,
+		ConvergedMPKI:     0.25,
+		ConvergenceWindow: DefaultConvergenceWindow,
 	}
 }
 
@@ -83,6 +101,11 @@ type Stats struct {
 	Repartitions int
 	// PagesMigrated is the total page-migration volume.
 	PagesMigrated int
+	// ApproxProfiles counts recomputations settled by the analytical
+	// sampler tier; ApproxEscalations counts analytical probes whose
+	// uncertainty forced a follow-up full engine probe.
+	ApproxProfiles    int
+	ApproxEscalations int
 	// Allocations records the allocation after each interval (one entry
 	// per interval, app-major).
 	Allocations [][]int
@@ -196,6 +219,9 @@ func (c *Controller) runInterval() []float64 {
 // costs only as many entries as the curve actually needs. The new curve
 // is anchored at the current partition size's measured miss rate.
 func (c *Controller) reprofile(i int) {
+	if c.cfg.ApproxThreshold > 0 && c.approxReprofile(i) {
+		return
+	}
 	m := c.machines[i]
 	p := m.PMU()
 	m.ResetMetrics()
@@ -213,7 +239,11 @@ func (c *Controller) reprofile(i int) {
 	var conv *phase.Convergence
 	nextEpoch := c.cfg.SnapshotEntries
 	if c.cfg.SnapshotEntries > 0 && c.cfg.ConvergedMPKI > 0 {
-		conv = phase.NewConvergence(c.cfg.ConvergedMPKI, 2)
+		window := c.cfg.ConvergenceWindow
+		if window <= 0 {
+			window = DefaultConvergenceWindow
+		}
+		conv = phase.NewConvergence(c.cfg.ConvergedMPKI, window)
 	}
 	for !p.TraceFull() {
 		platform.NextByCycles(c.machines).Step()
@@ -243,6 +273,48 @@ func (c *Controller) reprofile(i int) {
 	c.curves[i] = res.MRC
 	c.stats.Recomputations++
 	c.stats.ProbedEntries += st.Captured
+}
+
+// approxReprofile is the analytical probing tier: the same cycle-
+// interleaved capture as reprofile, but samples feed a reuse-time
+// sampler instead of a Mattson engine — O(1) per sample, no stack walks,
+// no engine drawn from the pool — and the curve comes from the
+// characteristic-time estimator. The estimate is kept only when its
+// uncertainty score is within ApproxThreshold; otherwise it reports
+// false and the caller escalates to a full engine probe (a second
+// probing period — the price of a wrong guess, which the threshold keeps
+// rare). The probe never ends early: without engine snapshots there is
+// no convergence signal, but the sampler's per-sample cost is a small
+// fraction of a stack update, so the full-length capture is still far
+// cheaper.
+func (c *Controller) approxReprofile(i int) bool {
+	m := c.machines[i]
+	p := m.PMU()
+	m.ResetMetrics()
+	smp, err := approx.NewSampler(core.DefaultConfig(), c.cfg.TraceEntries)
+	if err != nil {
+		return false
+	}
+	var corr core.StreamCorrector
+	startInstr := m.Core().Instructions()
+	p.StartTraceTo(pmu.SinkFunc(func(l mem.Line) {
+		smp.Feed(corr.Feed(l))
+	}), c.cfg.TraceEntries, startInstr, m.Core().Cycles())
+	for !p.TraceFull() {
+		platform.NextByCycles(c.machines).Step()
+	}
+	_, st := p.FinishTrace(m.Core().Instructions(), m.Core().Cycles())
+	c.stats.ProbedEntries += st.Captured
+	est, err := approx.CheFagin{}.Estimate(smp.Profile(), st.Instructions)
+	if err != nil || est.Uncertainty > c.cfg.ApproxThreshold {
+		c.stats.ApproxEscalations++
+		return false
+	}
+	est.MRC.Transpose(c.alloc[i]-1, m.Metrics().MPKI())
+	c.curves[i] = est.MRC
+	c.stats.Recomputations++
+	c.stats.ApproxProfiles++
+	return true
 }
 
 // maybeRepartition re-optimizes the allocation when every application has

@@ -99,6 +99,115 @@ func TestStationaryAppsSettleWithoutChurn(t *testing.T) {
 	}
 }
 
+// TestConvergenceWindowDelaysSettle pins the configurable settle window:
+// demanding more consecutive settled snapshot pairs before cutting a
+// probing period short means later early exits, so the same deterministic
+// run streams more log entries. These apps warm up statically (half the
+// 48k budget), leaving room for up to eleven 2k-epoch snapshots; window 2
+// settles on the third, while window 12 would need more snapshots than
+// the budget holds and so can never exit early.
+func TestConvergenceWindowDelaysSettle(t *testing.T) {
+	apps := []workload.Config{
+		workload.MustByName("crafty"),
+		workload.MustByName("gzip"),
+	}
+	run := func(window int) Stats {
+		cfg := testConfig()
+		cfg.SnapshotEntries = 2000
+		// A loose settle tolerance so every snapshot pair counts as
+		// settled: the only variable left is how many pairs the window
+		// demands.
+		cfg.ConvergedMPKI = 50
+		cfg.ConvergenceWindow = window
+		c, err := New(apps, opt(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Run(8)
+	}
+	fast := run(2)
+	slow := run(12)
+	if fast.Recomputations == 0 || slow.Recomputations == 0 {
+		t.Fatalf("no recomputations: fast %+v slow %+v", fast, slow)
+	}
+	if fast.ProbedEntries >= slow.ProbedEntries {
+		t.Fatalf("window 2 probed %d entries, window 12 probed %d: larger window must delay convergence",
+			fast.ProbedEntries, slow.ProbedEntries)
+	}
+	full := slow.Recomputations * testConfig().TraceEntries
+	if slow.ProbedEntries < full {
+		t.Errorf("window 12 exited early (%d of %d entries) despite needing more snapshots than the budget holds",
+			slow.ProbedEntries, full)
+	}
+}
+
+// TestApproxTierProfiles pins the tiered probing path: with a permissive
+// threshold the stationary apps' recomputations settle on the sampler
+// tier, the controller still gets curves for every app, and the
+// escalation counter stays quiet.
+func TestApproxTierProfiles(t *testing.T) {
+	apps := []workload.Config{
+		workload.MustByName("crafty"),
+		workload.MustByName("gzip"),
+	}
+	cfg := testConfig()
+	cfg.ApproxThreshold = 0.9
+	c, err := New(apps, opt(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Run(8)
+	if st.ApproxProfiles < 2 {
+		t.Fatalf("analytical tier settled %d probes, want at least one per app: %+v",
+			st.ApproxProfiles, st)
+	}
+	if st.ApproxProfiles != st.Recomputations {
+		t.Errorf("%d of %d recomputations analytical under a permissive threshold",
+			st.ApproxProfiles, st.Recomputations)
+	}
+	if c.DebugCurves() == "" {
+		t.Error("no curves after analytical profiling")
+	}
+	for i := range apps {
+		if c.curves[i] == nil {
+			t.Errorf("app %d has no curve", i)
+		}
+	}
+}
+
+// TestApproxTierEscalates pins the honest-cost fallback: a threshold no
+// workload can meet forces every analytical probe to escalate to a full
+// engine probe, which both counters and the probed-entry total (two
+// probing periods per recomputation) must reflect.
+func TestApproxTierEscalates(t *testing.T) {
+	apps := []workload.Config{
+		workload.MustByName("crafty"),
+		workload.MustByName("gzip"),
+	}
+	cfg := testConfig()
+	cfg.ApproxThreshold = 1e-9
+	cfg.SnapshotEntries = 0 // no early exit: makes the 2× cost exact
+	c, err := New(apps, opt(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Run(8)
+	if st.ApproxEscalations == 0 {
+		t.Fatalf("no escalations under an unmeetable threshold: %+v", st)
+	}
+	if st.ApproxProfiles != 0 {
+		t.Errorf("%d probes settled analytically under threshold 1e-9", st.ApproxProfiles)
+	}
+	if st.Recomputations < 2 {
+		t.Fatalf("escalation lost recomputations: %+v", st)
+	}
+	want := 2 * st.Recomputations * cfg.TraceEntries
+	if st.ProbedEntries != want {
+		t.Errorf("probed %d entries, want %d (sampler probe + full probe per recomputation)",
+			st.ProbedEntries, want)
+	}
+}
+
 func TestPhasedAppTriggersRecomputation(t *testing.T) {
 	// A two-phase synthetic app whose heavy phase does not fit the even
 	// split (12,000 lines ≈ 12.5 colors), against a stationary partner:

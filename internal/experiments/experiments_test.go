@@ -5,6 +5,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"rapidmrc/internal/approx"
 )
 
 // testCfg keeps driver tests fast: quick mode, tiny app subsets.
@@ -13,7 +15,7 @@ func testCfg(apps ...string) Config {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ext-dynamic", "ext-globalmrc", "ext-pmubuffer",
+	want := []string{"ext-approx", "ext-dynamic", "ext-globalmrc", "ext-pmubuffer",
 		"ext-replacement",
 		"fig1", "fig2a", "fig2b", "fig2c", "fig3", "fig4",
 		"fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig6", "fig7",
@@ -416,6 +418,68 @@ func TestExtReplacement(t *testing.T) {
 	if byPolicy["LRU"].MeanAbsGap > byPolicy["FIFO"].MeanAbsGap {
 		t.Errorf("LRU gap (%v) above FIFO gap (%v)",
 			byPolicy["LRU"].MeanAbsGap, byPolicy["FIFO"].MeanAbsGap)
+	}
+}
+
+// TestApproxCrossValidation is the acceptance smoke for the analytical
+// tier: both estimators over the full 30-workload zoo, error broken down
+// by curve-shape class. The bounds are generous versus the measured
+// numbers (mean relative error ≤ 0.003 per class at seed 1) so only a
+// genuine model regression trips them.
+func TestApproxCrossValidation(t *testing.T) {
+	var b bytes.Buffer
+	rows, summaries, err := ExtApprox(&b, Config{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 30 {
+		t.Fatalf("cross-validated %d apps, want the full zoo", len(rows))
+	}
+	seen := make(map[string]ApproxSummary)
+	for _, s := range summaries {
+		seen[s.Shape.String()] = s
+	}
+	for _, tc := range []struct {
+		shape string
+		bound float64
+	}{
+		// Knee curves are the fluid approximation's hard case; the policy
+		// escalates most of them, but even the kept estimates stay close.
+		{"flat", 0.05},
+		{"steep", 0.05},
+		{"knee", 0.10},
+	} {
+		s, ok := seen[tc.shape]
+		if !ok {
+			t.Errorf("no %s-shaped curves in the zoo", tc.shape)
+			continue
+		}
+		if s.MeanRelChe > tc.bound || s.MeanRelFA > tc.bound {
+			t.Errorf("%s: mean relative error che %.3f / fullassoc %.3f beyond %.2f",
+				tc.shape, s.MeanRelChe, s.MeanRelFA, tc.bound)
+		}
+	}
+	// The uncertainty score must separate the classes: cliff-dominated
+	// (knee) curves escalate at the default threshold, smooth flat ones
+	// serve analytically.
+	for _, r := range rows {
+		if r.Shape == approx.ShapeFlat && r.Escalate {
+			t.Errorf("%s: flat curve escalated (uncertainty %.3f)", r.App, r.Uncertainty)
+		}
+	}
+	var escalated int
+	for _, r := range rows {
+		if r.Escalate {
+			escalated++
+		}
+	}
+	if escalated == 0 {
+		t.Error("no app escalated: the uncertainty score is not discriminating")
+	}
+	for _, want := range []string{"By curve-shape class", "MeanRelChe", "Escalated"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
 	}
 }
 

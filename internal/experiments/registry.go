@@ -32,8 +32,9 @@ var registry = map[string]Runner{
 	"fig7":   func(w io.Writer, cfg Config) error { _, err := Figure7(w, cfg); return err },
 	"table2": func(w io.Writer, cfg Config) error { _, err := Table2(w, cfg); return err },
 	// Extensions beyond the paper's evaluation: the §6 future-PMU
-	// ablation, the §5.3 dynamic-repartitioning vision, and use case
-	// (iv), global-MRC prediction.
+	// ablation, the §5.3 dynamic-repartitioning vision, use case (iv)
+	// global-MRC prediction, and the analytical-estimator tier.
+	"ext-approx":      func(w io.Writer, cfg Config) error { _, _, err := ExtApprox(w, cfg); return err },
 	"ext-pmubuffer":   func(w io.Writer, cfg Config) error { _, err := ExtPMUBuffer(w, cfg); return err },
 	"ext-dynamic":     func(w io.Writer, cfg Config) error { _, err := ExtDynamic(w, cfg); return err },
 	"ext-globalmrc":   func(w io.Writer, cfg Config) error { _, err := ExtGlobalMRC(w, cfg); return err },

@@ -3,10 +3,12 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
 
+	"rapidmrc/internal/approx"
 	"rapidmrc/internal/core"
 	"rapidmrc/internal/partition"
 )
@@ -14,6 +16,24 @@ import (
 // DefaultColors is the partition-advice domain when the request does not
 // choose: the modeled platform's 16 page colors.
 const DefaultColors = 16
+
+// MaxAdviceColors bounds the colors query parameter: the allocator's
+// work grows with the color count, so an unbounded request would let one
+// caller burn arbitrary CPU. 1024 covers every plausible platform.
+const MaxAdviceColors = 1024
+
+// parseWait interprets the wait query parameter: empty and "0" poll the
+// live curve, "1" flushes the ingest queue first. Anything else is a
+// client error (it used to be silently treated as "0").
+func parseWait(v string) (bool, error) {
+	switch v {
+	case "", "0":
+		return false, nil
+	case "1":
+		return true, nil
+	}
+	return false, errors.New("service: wait must be 0 or 1")
+}
 
 // RegisterRequest is the POST /tenants body.
 type RegisterRequest struct {
@@ -23,6 +43,10 @@ type RegisterRequest struct {
 	NoCorrection bool   `json:"no_correction,omitempty"`
 	MaxQueued    int    `json:"max_queued,omitempty"`
 	EpochEntries int    `json:"epoch_entries,omitempty"`
+	// ApproxThreshold enables the analytical serving tier for this tenant
+	// at the given uncertainty threshold; zero inherits the daemon
+	// default, negative forces full simulation on every serve.
+	ApproxThreshold float64 `json:"approx_threshold,omitempty"`
 }
 
 // FeedRequest is the POST /tenants/{id}/feed body: one batch of raw
@@ -53,6 +77,18 @@ type CurveResponse struct {
 	// Shift is the v-offset applied when the request asked for
 	// transposition (transpose_at + measured query parameters).
 	Shift float64 `json:"shift"`
+	// Tier reports which path produced the curve ("analytical" or
+	// "simulated"); TierReason explains a simulated serve; Estimator
+	// names the analytical model behind an analytical one.
+	Tier       string `json:"tier"`
+	TierReason string `json:"tier_reason,omitempty"`
+	Estimator  string `json:"estimator,omitempty"`
+	// Uncertainty and Disagreement are the tiered policy's inputs for
+	// this serve; CrossValError the tenant's last measured estimate-vs-
+	// simulation error (mean absolute MPKI distance, -1 until measured).
+	Uncertainty   float64 `json:"uncertainty"`
+	Disagreement  float64 `json:"disagreement"`
+	CrossValError float64 `json:"crossval_error"`
 }
 
 // AdviceResponse is the GET /advice body: a color allocation across the
@@ -107,6 +143,7 @@ func NewHandler(svc *Service) http.Handler {
 			NoCorrection: req.NoCorrection,
 			MaxQueued:    req.MaxQueued,
 			EpochEntries: req.EpochEntries,
+			Approx:       approx.PolicyConfig{Threshold: req.ApproxThreshold},
 		})
 		if err != nil {
 			writeServiceError(w, err)
@@ -153,12 +190,12 @@ func NewHandler(svc *Service) http.Handler {
 			return
 		}
 		q := r.URL.Query()
-		var ep *Epoch
-		if q.Get("wait") == "1" {
-			ep, err = t.Snapshot(true)
-		} else {
-			ep, err = t.Live()
+		wait, err := parseWait(q.Get("wait"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
 		}
+		ep, err := t.Serve(wait)
 		if err != nil {
 			writeServiceError(w, err)
 			return
@@ -171,6 +208,12 @@ func NewHandler(svc *Service) http.Handler {
 			AutoWarmup:    ep.Result.AutoWarmup,
 			StackHitRate:  ep.Result.StackHitRate,
 			Converted:     ep.Converted,
+			Tier:          ep.Tier.String(),
+			TierReason:    ep.TierReason,
+			Estimator:     ep.Estimator,
+			Uncertainty:   ep.Uncertainty,
+			Disagreement:  ep.Disagreement,
+			CrossValError: t.Stats().CrossValError,
 		}
 		if at := q.Get("transpose_at"); at != "" {
 			ref, err := strconv.Atoi(at)
@@ -184,6 +227,14 @@ func NewHandler(svc *Service) http.Handler {
 			if err != nil {
 				writeError(w, http.StatusBadRequest,
 					errors.New("service: transpose_at requires measured=<mpki>"))
+				return
+			}
+			// A v-offset target must be a physical miss rate: finite and
+			// non-negative. NaN/Inf would poison every point of the served
+			// curve, and a negative MPKI is meaningless.
+			if math.IsNaN(measured) || math.IsInf(measured, 0) || measured < 0 {
+				writeError(w, http.StatusBadRequest,
+					errors.New("service: measured must be a finite MPKI >= 0"))
 				return
 			}
 			m := core.MRC{MPKI: resp.MPKI}
@@ -203,9 +254,10 @@ func NewHandler(svc *Service) http.Handler {
 		colors := DefaultColors
 		if c := r.URL.Query().Get("colors"); c != "" {
 			n, err := strconv.Atoi(c)
-			if err != nil || n < 1 {
+			if err != nil || n < 1 || n > MaxAdviceColors {
 				writeError(w, http.StatusBadRequest,
-					errors.New("service: colors must be a positive integer"))
+					errors.New("service: colors must be an integer in [1, "+
+						strconv.Itoa(MaxAdviceColors)+"]"))
 				return
 			}
 			colors = n
@@ -331,6 +383,21 @@ func writeMetrics(w http.ResponseWriter, svc *Service) {
 		series("rapidmrc_tenant_sheds", s.ID, int64(s.Sheds))
 		series("rapidmrc_tenant_epochs", s.ID, int64(s.Epochs))
 		series("rapidmrc_tenant_epoch_latency_nanos", s.ID, s.LastEpochNanos)
+		// Analytical-tier series: last serving tier (1 = analytical),
+		// decision counters, and the float signals scaled to milli-units
+		// so the text exposition stays integer-only.
+		tier := int64(0)
+		if s.Tier == approx.TierAnalytical.String() {
+			tier = 1
+		}
+		series("rapidmrc_tenant_tier_analytical", s.ID, tier)
+		series("rapidmrc_tenant_approx_served", s.ID, int64(s.ApproxServed))
+		series("rapidmrc_tenant_sim_served", s.ID, int64(s.SimServed))
+		series("rapidmrc_tenant_escalations", s.ID, int64(s.Escalations))
+		series("rapidmrc_tenant_phase_transitions", s.ID, int64(s.PhaseTransitions))
+		series("rapidmrc_tenant_uncertainty_milli", s.ID, int64(s.Uncertainty*1000))
+		series("rapidmrc_tenant_crossval_error_milli_mpki", s.ID,
+			int64(s.CrossValError*1000))
 	}
 	w.Write(b)
 }

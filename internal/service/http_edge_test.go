@@ -1,0 +1,154 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHTTPQueryEdgeCases drives the mrcd query surface through hostile
+// parameter values, asserting each is a typed 400 with a JSON error body
+// — never a 500, never silently accepted.
+func TestHTTPQueryEdgeCases(t *testing.T) {
+	svc := New(Config{})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	c := ts.Client()
+
+	// One tenant with a served curve so transposition paths are live.
+	trace := rawTrace(synthTrace(31, 4000))
+	if code := doJSON(t, c, "POST", ts.URL+"/tenants",
+		RegisterRequest{ID: "app", Target: len(trace)}, nil); code != http.StatusCreated {
+		t.Fatalf("register: %d", code)
+	}
+	if code := doJSON(t, c, "POST", ts.URL+"/tenants/app/feed",
+		FeedRequest{Lines: trace, Instructions: 100_000}, nil); code != http.StatusAccepted {
+		t.Fatalf("feed: %d", code)
+	}
+
+	cases := []struct {
+		name  string
+		path  string
+		query string
+		code  int
+	}{
+		{"wait default", "/tenants/app/curve", "", http.StatusOK},
+		{"wait 0", "/tenants/app/curve", "wait=0", http.StatusOK},
+		{"wait 1", "/tenants/app/curve", "wait=1", http.StatusOK},
+		{"wait empty value", "/tenants/app/curve", "wait=", http.StatusOK},
+		{"wait 2", "/tenants/app/curve", "wait=2", http.StatusBadRequest},
+		{"wait non-numeric", "/tenants/app/curve", "wait=yes", http.StatusBadRequest},
+		{"wait huge", "/tenants/app/curve", "wait=99999999999999999999", http.StatusBadRequest},
+
+		{"transpose ok", "/tenants/app/curve", "wait=1&transpose_at=16&measured=2.5", http.StatusOK},
+		{"transpose_at zero", "/tenants/app/curve", "transpose_at=0&measured=1", http.StatusBadRequest},
+		{"transpose_at beyond curve", "/tenants/app/curve", "transpose_at=17&measured=1", http.StatusBadRequest},
+		{"transpose_at negative", "/tenants/app/curve", "transpose_at=-1&measured=1", http.StatusBadRequest},
+		{"transpose_at non-numeric", "/tenants/app/curve", "transpose_at=abc&measured=1", http.StatusBadRequest},
+		{"transpose_at huge", "/tenants/app/curve", "transpose_at=99999999999999999999&measured=1", http.StatusBadRequest},
+
+		{"measured missing", "/tenants/app/curve", "transpose_at=16", http.StatusBadRequest},
+		{"measured empty", "/tenants/app/curve", "transpose_at=16&measured=", http.StatusBadRequest},
+		{"measured non-numeric", "/tenants/app/curve", "transpose_at=16&measured=abc", http.StatusBadRequest},
+		{"measured NaN", "/tenants/app/curve", "transpose_at=16&measured=NaN", http.StatusBadRequest},
+		{"measured Inf", "/tenants/app/curve", "transpose_at=16&measured=Inf", http.StatusBadRequest},
+		{"measured -Inf", "/tenants/app/curve", "transpose_at=16&measured=-Inf", http.StatusBadRequest},
+		{"measured negative", "/tenants/app/curve", "transpose_at=16&measured=-5", http.StatusBadRequest},
+		{"measured overflows float64", "/tenants/app/curve", "transpose_at=16&measured=1e999", http.StatusBadRequest},
+		{"measured large but finite", "/tenants/app/curve", "transpose_at=16&measured=1e308", http.StatusOK},
+
+		{"colors default", "/advice", "", http.StatusOK},
+		{"colors max", "/advice", "colors=1024", http.StatusOK},
+		{"colors zero", "/advice", "colors=0", http.StatusBadRequest},
+		{"colors negative", "/advice", "colors=-3", http.StatusBadRequest},
+		{"colors non-numeric", "/advice", "colors=abc", http.StatusBadRequest},
+		{"colors beyond max", "/advice", "colors=1025", http.StatusBadRequest},
+		{"colors huge", "/advice", "colors=99999999999999999999", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		url := ts.URL + tc.path
+		if tc.query != "" {
+			url += "?" + tc.query
+		}
+		var er errorResponse
+		code := doJSON(t, c, "GET", url, nil, &er)
+		if code != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.code)
+			continue
+		}
+		if tc.code == http.StatusBadRequest && er.Error == "" {
+			t.Errorf("%s: 400 without a JSON error body", tc.name)
+		}
+	}
+}
+
+// TestHTTPAnalyticalTier drives the tiered surface end to end over HTTP:
+// a tenant registered with approx_threshold serves an analytical curve,
+// /curve reports the tier, /stats and /metrics expose the decision
+// counters.
+func TestHTTPAnalyticalTier(t *testing.T) {
+	svc := New(Config{})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	c := ts.Client()
+
+	trace := rawTrace(synthTrace(47, 4000))
+	if code := doJSON(t, c, "POST", ts.URL+"/tenants",
+		RegisterRequest{ID: "fast", Target: len(trace), ApproxThreshold: 0.95},
+		nil); code != http.StatusCreated {
+		t.Fatalf("register: %d", code)
+	}
+	if code := doJSON(t, c, "POST", ts.URL+"/tenants/fast/feed",
+		FeedRequest{Lines: trace, Instructions: 100_000}, nil); code != http.StatusAccepted {
+		t.Fatalf("feed: %d", code)
+	}
+
+	var cr CurveResponse
+	if code := doJSON(t, c, "GET", ts.URL+"/tenants/fast/curve?wait=1", nil, &cr); code != http.StatusOK {
+		t.Fatalf("curve: %d", code)
+	}
+	if cr.Tier != "analytical" && cr.Tier != "simulated" {
+		t.Fatalf("tier %q", cr.Tier)
+	}
+	if cr.Tier == "analytical" {
+		if cr.Estimator == "" {
+			t.Error("analytical serve without estimator name")
+		}
+		if cr.Uncertainty > 0.95 {
+			t.Errorf("served uncertainty %v beyond threshold", cr.Uncertainty)
+		}
+	} else if cr.TierReason == "" {
+		t.Error("simulated serve without a reason")
+	}
+
+	var st TenantStats
+	if code := doJSON(t, c, "GET", ts.URL+"/tenants/fast/stats", nil, &st); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if st.ApproxServed+st.SimServed != 1 {
+		t.Errorf("decision counters %+v", st)
+	}
+
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`rapidmrc_tenant_tier_analytical{tenant="fast"}`,
+		`rapidmrc_tenant_approx_served{tenant="fast"}`,
+		`rapidmrc_tenant_sim_served{tenant="fast"}`,
+		`rapidmrc_tenant_escalations{tenant="fast"}`,
+		`rapidmrc_tenant_phase_transitions{tenant="fast"}`,
+		`rapidmrc_tenant_uncertainty_milli{tenant="fast"}`,
+		`rapidmrc_tenant_crossval_error_milli_mpki{tenant="fast"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

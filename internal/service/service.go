@@ -26,6 +26,11 @@ type Config struct {
 	// EpochEntries is the default auto-snapshot cadence for tenants that
 	// leave theirs zero. Zero disables auto-epochs by default.
 	EpochEntries int
+	// ApproxThreshold is the default analytical-tier uncertainty
+	// threshold for tenants whose Approx config leaves it zero (see
+	// TenantConfig.Approx). Zero keeps the analytical tier off by
+	// default, preserving the classic always-simulate behavior.
+	ApproxThreshold float64
 }
 
 // Service defaults.
@@ -76,8 +81,9 @@ func (s *Service) Pool() *EnginePool { return s.pool }
 
 // Register creates a tenant under id and starts its worker. The tenant
 // configuration is defaulted: zero Target becomes DefaultTarget, zero
-// MaxQueued and EpochEntries inherit the service defaults, and a zero
-// Engine config becomes core.DefaultConfig(). It fails with
+// MaxQueued, EpochEntries, and Approx.Threshold inherit the service
+// defaults, and a zero Engine config becomes core.DefaultConfig(). It
+// fails with
 // ErrTenantExists if id is taken, ErrDraining during shutdown, or the
 // engine constructor's error for an invalid configuration.
 func (s *Service) Register(id string, cfg TenantConfig) (*Tenant, error) {
@@ -95,6 +101,9 @@ func (s *Service) Register(id string, cfg TenantConfig) (*Tenant, error) {
 	}
 	if cfg.EpochEntries == 0 {
 		cfg.EpochEntries = s.cfg.EpochEntries
+	}
+	if cfg.Approx.Threshold == 0 {
+		cfg.Approx.Threshold = s.cfg.ApproxThreshold
 	}
 	if cfg.Engine == (core.Config{}) {
 		cfg.Engine = core.DefaultConfig()

@@ -6,8 +6,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rapidmrc/internal/approx"
 	"rapidmrc/internal/core"
 	"rapidmrc/internal/mem"
+	"rapidmrc/internal/phase"
 )
 
 // TenantConfig parameterizes one registered workload.
@@ -34,6 +36,11 @@ type TenantConfig struct {
 	// Engine overrides the compute configuration; the zero value uses
 	// core.DefaultConfig().
 	Engine core.Config
+	// Approx configures the analytical serving tier (see internal/approx).
+	// A zero Threshold inherits the service-wide default
+	// (Config.ApproxThreshold); a negative Threshold disables the tier for
+	// this tenant, making every Serve a full simulation.
+	Approx approx.PolicyConfig
 }
 
 // DefaultTarget is the paper's probing-period length (§5.2.3).
@@ -49,6 +56,18 @@ type Epoch struct {
 	Result *core.Result
 	// Converted counts prefetch-repetition rewrites so far.
 	Converted int
+	// Tier and TierReason describe how this epoch was produced when it
+	// came through Serve: TierAnalytical epochs carry an estimator curve
+	// (Result.Hist is nil), TierSimulated epochs a full engine snapshot.
+	// Plain Snapshot/Live epochs are TierSimulated with an empty reason.
+	Tier       approx.Tier
+	TierReason string
+	// Estimator names the analytical model behind a TierAnalytical epoch.
+	Estimator string
+	// Uncertainty and Disagreement are the serving decision's inputs (0
+	// when the analytical tier is off or still warming).
+	Uncertainty  float64
+	Disagreement float64
 }
 
 // TenantStats is one tenant's counter snapshot, for /metrics and
@@ -77,6 +96,22 @@ type TenantStats struct {
 	Warming   bool
 	// Closed reports a finalized (evicted or drained) tenant.
 	Closed bool
+	// Tier and TierReason echo the last serving decision ("simulated"
+	// before any Serve); Uncertainty its analytical-estimate score.
+	Tier        string
+	TierReason  string
+	Uncertainty float64
+	// CrossValError is the last cross-validation of the analytical
+	// estimate against a real simulated snapshot, as mean absolute MPKI
+	// distance (§5.2.1 metric); -1 until one has been measured.
+	CrossValError float64
+	// ApproxServed / SimServed / Escalations are the tiered policy's
+	// decision counters; PhaseTransitions counts detector firings at
+	// auto-epoch boundaries.
+	ApproxServed     int
+	SimServed        int
+	Escalations      int
+	PhaseTransitions int
 }
 
 // batch is one accepted ingest unit.
@@ -95,13 +130,27 @@ type Tenant struct {
 	svc *Service
 	cfg TenantConfig
 
-	// mu guards the engine, corrector, and last epoch. The worker holds
-	// it while feeding a batch; snapshots hold it while computing.
+	// mu guards the engine, corrector, sampler, policy, detector, and
+	// last epoch. The worker holds it while feeding a batch; snapshots
+	// and serves hold it while computing.
 	mu   sync.Mutex
 	eng  Engine // nil once finalized (engine returned to the pool)
 	corr *core.StreamCorrector
 	last *Epoch
 	next int // next auto-epoch boundary (entries)
+
+	// Analytical tier state (all nil/zero when the tier is disabled).
+	// The sampler sees exactly the corrected lines the engine sees, so
+	// the estimate and the simulation describe the same stream; the
+	// detector observes the largest-size MPKI of each auto-epoch as its
+	// interval miss rate; phasePending latches a detected transition
+	// until the next serving decision consumes it.
+	sampler      *approx.Sampler
+	policy       *approx.Policy
+	det          *phase.Detector
+	phasePending bool
+	lastDecision approx.Decision
+	crossVal     float64 // mean abs MPKI distance estimate↔simulated; -1 unmeasured
 
 	// qmu guards the ingest queue and lifecycle flags. qcond wakes the
 	// worker (work arrived, or closing); dcond wakes Flush waiters
@@ -130,9 +179,19 @@ type Tenant struct {
 
 // newTenant builds a tenant and starts its worker.
 func newTenant(id string, svc *Service, cfg TenantConfig, eng Engine) *Tenant {
-	t := &Tenant{id: id, svc: svc, cfg: cfg, eng: eng, done: make(chan struct{})}
+	t := &Tenant{id: id, svc: svc, cfg: cfg, eng: eng, done: make(chan struct{}),
+		crossVal: -1}
 	if !cfg.NoCorrection {
 		t.corr = new(core.StreamCorrector)
+	}
+	if cfg.Approx.Enabled() {
+		// The engine config was validated by the pool constructor, so the
+		// sampler cannot fail here.
+		if s, err := approx.NewSampler(cfg.Engine, cfg.Target); err == nil {
+			t.sampler = s
+			t.policy = approx.NewPolicy(cfg.Approx)
+			t.det = phase.New(phase.DefaultConfig())
+		}
 	}
 	if cfg.EpochEntries > 0 {
 		t.next = cfg.EpochEntries
@@ -253,6 +312,7 @@ func (t *Tenant) consume(b batch) {
 	if t.cfg.EpochEntries > 0 && t.eng.Consumed() >= t.next && !t.eng.Warming() {
 		if ep, err := t.snapshotLocked(); err == nil {
 			t.last = ep
+			t.observeEpochLocked(ep)
 		}
 		for t.next <= t.eng.Consumed() {
 			t.next += t.cfg.EpochEntries
@@ -261,19 +321,50 @@ func (t *Tenant) consume(b batch) {
 	t.mu.Unlock()
 }
 
+// observeEpochLocked runs the analytical tier's bookkeeping against a
+// fresh simulated epoch: the phase detector consumes the epoch's
+// largest-size MPKI as its interval miss rate (a detected transition is
+// latched until the next serving decision), and the current analytical
+// estimate is cross-validated against the just-computed real curve — the
+// simulation was already paid for, so the error measurement is free. The
+// caller holds t.mu.
+func (t *Tenant) observeEpochLocked(ep *Epoch) {
+	if t.det != nil {
+		mpki := ep.Result.MRC.MPKI
+		if t.det.Observe(mpki[len(mpki)-1]) {
+			t.phasePending = true
+		}
+	}
+	if t.sampler != nil && !t.sampler.Warming() {
+		if e, err := (approx.CheFagin{}).Estimate(t.sampler.Profile(), t.instr.Load()); err == nil {
+			t.crossVal = core.Distance(e.MRC, ep.Result.MRC)
+		}
+	}
+}
+
 // feedLines pushes one batch through the streaming corrector into the
-// engine — the pooled feed path every tenant reference crosses.
+// engine — the pooled feed path every tenant reference crosses. The
+// analytical sampler taps the same corrected stream, so both tiers
+// describe identical references.
 //
 //rapidmrc:hotpath
 func (t *Tenant) feedLines(lines []uint64) {
+	s := t.sampler
 	if t.corr != nil {
 		for _, l := range lines {
-			t.eng.Feed(t.corr.Feed(mem.Line(l)))
+			c := t.corr.Feed(mem.Line(l))
+			t.eng.Feed(c)
+			if s != nil {
+				s.Feed(c)
+			}
 		}
 		return
 	}
 	for _, l := range lines {
 		t.eng.Feed(mem.Line(l))
+		if s != nil {
+			s.Feed(mem.Line(l))
+		}
 	}
 }
 
@@ -330,6 +421,108 @@ func (t *Tenant) Live() (*Epoch, error) {
 	return t.Snapshot(false)
 }
 
+// Serve is the tiered read path: when the analytical tier is enabled it
+// estimates the curve from the reuse-time histogram (O(buckets), no
+// engine work) and serves that estimate if the policy trusts it,
+// escalating to a full engine snapshot when the uncertainty score
+// exceeds the threshold, the two estimators disagree, or a phase change
+// was detected since the last serve. With the tier disabled (or the
+// tenant finalized) it behaves exactly like the classic read path:
+// Snapshot(true) under wait, Live() otherwise. An escalated serve also
+// refreshes the cross-validation error, since both curves are in hand.
+func (t *Tenant) Serve(wait bool) (*Epoch, error) {
+	t.mu.Lock()
+	enabled := t.policy != nil && t.eng != nil
+	t.mu.Unlock()
+	if !enabled {
+		var ep *Epoch
+		var err error
+		if wait {
+			ep, err = t.Snapshot(true)
+		} else {
+			ep, err = t.Live()
+		}
+		if err != nil {
+			return nil, err
+		}
+		cp := *ep
+		cp.Tier = approx.TierSimulated
+		cp.TierReason = "disabled"
+		return &cp, nil
+	}
+	if wait {
+		t.Flush()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.eng == nil {
+		return nil, t.finalErr()
+	}
+
+	var primary, secondary *approx.Estimate
+	var prof *approx.Profile
+	if !t.sampler.Warming() {
+		prof = t.sampler.Profile()
+		instr := t.instr.Load()
+		if e, err := (approx.CheFagin{}).Estimate(prof, instr); err == nil {
+			primary = e
+			if e2, err := (approx.FullyAssociative{}).Estimate(prof, instr); err == nil {
+				secondary = e2
+			}
+		}
+	}
+	d := t.policy.Decide(primary, secondary, t.phasePending)
+	t.phasePending = false
+	t.lastDecision = d
+
+	if d.Tier == approx.TierAnalytical {
+		return t.analyticalEpochLocked(primary, prof, d), nil
+	}
+	ep, err := t.snapshotLocked()
+	if err != nil {
+		return nil, err
+	}
+	if primary != nil {
+		// The escalation computed the real curve anyway: bank the
+		// cross-validation error for /stats and /metrics.
+		t.crossVal = core.Distance(primary.MRC, ep.Result.MRC)
+	}
+	t.last = ep
+	ep.Tier = approx.TierSimulated
+	ep.TierReason = d.Reason
+	ep.Uncertainty = d.Uncertainty
+	ep.Disagreement = d.Disagreement
+	return ep, nil
+}
+
+// analyticalEpochLocked wraps a trusted estimate as an epoch. The Result
+// is synthesized (Hist nil, no stack statistics) but carries the same
+// curve, normalization, and warmup description a simulated result would,
+// so every downstream consumer — transposition, partition advice —
+// works unchanged. The caller holds t.mu.
+func (t *Tenant) analyticalEpochLocked(e *approx.Estimate, prof *approx.Profile, d approx.Decision) *Epoch {
+	converted := 0
+	if t.corr != nil {
+		converted = t.corr.Converted()
+	}
+	return &Epoch{
+		Entries:      t.eng.Consumed(),
+		Instructions: t.instr.Load(),
+		Result: &core.Result{
+			MRC:           e.MRC.Clone(),
+			Recorded:      e.Recorded,
+			Instructions:  e.InstrEff,
+			WarmupEntries: prof.WarmupEntries(),
+			AutoWarmup:    prof.AutoWarmup(),
+		},
+		Converted:    converted,
+		Tier:         approx.TierAnalytical,
+		Estimator:    e.Estimator,
+		Uncertainty:  d.Uncertainty,
+		Disagreement: d.Disagreement,
+	}
+}
+
 // Flush blocks until the ingest queue is fully drained (or the worker
 // has exited). The wait is bounded: the queue is capacity-limited and
 // only drains.
@@ -351,21 +544,39 @@ func (t *Tenant) Stats() TenantStats {
 	t.qmu.Unlock()
 	t.mu.Lock()
 	warming := t.eng != nil && t.eng.Warming()
+	decision := t.lastDecision
+	crossVal := t.crossVal
+	var pstats approx.PolicyStats
+	transitions := 0
+	if t.policy != nil {
+		pstats = t.policy.Stats()
+	}
+	if t.det != nil {
+		transitions = t.det.Transitions()
+	}
 	t.mu.Unlock()
 	return TenantStats{
-		ID:              t.id,
-		Entries:         int(t.entries.Load()),
-		Instructions:    t.instr.Load(),
-		QueuedEntries:   queuedEntries,
-		QueuedBatches:   queuedBatches,
-		InFlightEntries: inflight,
-		Batches:         int(t.batches.Load()),
-		Sheds:           int(t.sheds.Load()),
-		Epochs:          int(t.epochs.Load()),
-		LastEpochNanos:  t.lastNanos.Load(),
-		Converted:       t.corr != nil,
-		Warming:         warming,
-		Closed:          closed,
+		ID:               t.id,
+		Entries:          int(t.entries.Load()),
+		Instructions:     t.instr.Load(),
+		QueuedEntries:    queuedEntries,
+		QueuedBatches:    queuedBatches,
+		InFlightEntries:  inflight,
+		Batches:          int(t.batches.Load()),
+		Sheds:            int(t.sheds.Load()),
+		Epochs:           int(t.epochs.Load()),
+		LastEpochNanos:   t.lastNanos.Load(),
+		Converted:        t.corr != nil,
+		Warming:          warming,
+		Closed:           closed,
+		Tier:             decision.Tier.String(),
+		TierReason:       decision.Reason,
+		Uncertainty:      decision.Uncertainty,
+		CrossValError:    crossVal,
+		ApproxServed:     pstats.Analytical,
+		SimServed:        pstats.Simulated,
+		Escalations:      pstats.Escalations,
+		PhaseTransitions: transitions,
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"rapidmrc/internal/approx"
 	"rapidmrc/internal/core"
 	"rapidmrc/internal/mem"
 	"rapidmrc/internal/service"
@@ -161,8 +162,9 @@ type Stats struct {
 // Engine computes curves from traces. The zero value is not usable; use
 // NewEngine.
 type Engine struct {
-	cfg     core.Config
-	correct bool
+	cfg             core.Config
+	correct         bool
+	approxThreshold float64
 }
 
 // EngineOption customizes an Engine.
@@ -185,9 +187,17 @@ func WithStaticWarmup(frac float64) EngineOption {
 	return func(e *Engine) { e.cfg.StaticWarmupFrac = frac }
 }
 
+// WithApproxThreshold sets the uncertainty score above which
+// Engine.Estimate escalates from the analytical estimators to the full
+// simulation (default approx.DefaultThreshold, 0.35). A threshold <= 0
+// disables the analytical tier: every Estimate call simulates.
+func WithApproxThreshold(t float64) EngineOption {
+	return func(e *Engine) { e.approxThreshold = t }
+}
+
 // NewEngine returns an Engine with the paper's defaults.
 func NewEngine(opts ...EngineOption) *Engine {
-	e := &Engine{cfg: core.DefaultConfig(), correct: true}
+	e := &Engine{cfg: core.DefaultConfig(), correct: true, approxThreshold: approx.DefaultThreshold}
 	for _, o := range opts {
 		o(e)
 	}
@@ -328,6 +338,82 @@ func (s *Stream) Snapshot(instructions uint64) (*Curve, *Stats, error) {
 // raw (untransposed) curve.
 func (e *Engine) Compute(t *Trace) (*Curve, *Stats, error) {
 	return e.compute(t, 0)
+}
+
+// EstimateStats describes one tiered estimation: which tier produced the
+// curve and the signals the decision was made on.
+type EstimateStats struct {
+	// Tier is "analytical" (the curve came from an O(histogram) estimator)
+	// or "simulated" (the request escalated to the full stack algorithm).
+	Tier string
+	// Reason explains a simulated tier ("disabled", "warming",
+	// "uncertain", "disagreement"); empty for an analytical serve.
+	Reason string
+	// Estimator names the analytical model behind an analytical curve
+	// ("che"); empty when simulated.
+	Estimator string
+	// Uncertainty is the primary estimator's trustworthiness score in
+	// [0, 1]; Disagreement is the cross-estimator consistency signal as a
+	// fraction of the curve height.
+	Uncertainty  float64
+	Disagreement float64
+	// Compute carries the full simulation's statistics when the tier
+	// escalated; nil for an analytical serve (no simulation ran).
+	Compute *Stats
+}
+
+// Estimate is the tiered form of Compute: the trace is reduced to a
+// reuse-time histogram (O(1) per reference — no LRU stack) and the curve
+// comes from the Che/Fagin characteristic-time estimator, two to three
+// orders of magnitude cheaper than the stack algorithm. The estimate is
+// returned only when its uncertainty score and its disagreement with a
+// second analytical model are within the engine's threshold
+// (WithApproxThreshold); otherwise Estimate transparently falls back to
+// the exact computation, and the returned stats say which tier ran and
+// why. The curve is raw (untransposed) either way, directly comparable
+// to Compute's.
+func (e *Engine) Estimate(t *Trace) (*Curve, *EstimateStats, error) {
+	if t == nil || len(t.Lines) == 0 {
+		return nil, nil, fmt.Errorf("rapidmrc: empty trace")
+	}
+	smp, err := approx.NewSampler(e.cfg, len(t.Lines))
+	if err != nil {
+		return nil, nil, err
+	}
+	var corr core.StreamCorrector
+	for _, l := range t.Lines {
+		line := mem.Line(l)
+		if e.correct {
+			line = corr.Feed(line)
+		}
+		smp.Feed(line)
+	}
+	p := smp.Profile()
+	var primary, secondary *approx.Estimate
+	if est, err := (approx.CheFagin{}).Estimate(p, t.Instructions); err == nil {
+		primary = est
+	}
+	if est, err := (approx.FullyAssociative{}).Estimate(p, t.Instructions); err == nil {
+		secondary = est
+	}
+	pol := approx.NewPolicy(approx.PolicyConfig{Threshold: e.approxThreshold})
+	d := pol.Decide(primary, secondary, false)
+	st := &EstimateStats{
+		Tier:         d.Tier.String(),
+		Reason:       d.Reason,
+		Uncertainty:  d.Uncertainty,
+		Disagreement: d.Disagreement,
+	}
+	if d.Tier == approx.TierAnalytical {
+		st.Estimator = primary.Estimator
+		return &Curve{MPKI: primary.MRC.MPKI}, st, nil
+	}
+	curve, cs, err := e.compute(t, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Compute = cs
+	return curve, st, nil
 }
 
 // ComputeParallel is Compute with the trace itself processed in

@@ -106,6 +106,102 @@ func TestEngineOptions(t *testing.T) {
 	}
 }
 
+// uniformRandTrace builds a smooth random workload over ws lines — the
+// analytical tier's easy case.
+func uniformRandTrace(seed uint64, ws, n int, instr uint64) *Trace {
+	tr := &Trace{Instructions: instr}
+	x := seed
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		tr.Lines = append(tr.Lines, (x>>33)%uint64(ws))
+	}
+	return tr
+}
+
+// TestEstimateAnalytical pins the fast path: a smooth workload under a
+// permissive threshold is served from the estimator, and the estimate
+// tracks the exact computation.
+func TestEstimateAnalytical(t *testing.T) {
+	tr := uniformRandTrace(7, 3000, 40_000, 120_000)
+	eng := NewEngine(WithApproxThreshold(0.9))
+	curve, st, err := eng.Estimate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tier != "analytical" {
+		t.Fatalf("tier %q reason %q, want analytical", st.Tier, st.Reason)
+	}
+	if st.Estimator != "che" {
+		t.Errorf("estimator %q", st.Estimator)
+	}
+	if st.Uncertainty > 0.9 {
+		t.Errorf("served uncertainty %v beyond threshold", st.Uncertainty)
+	}
+	if st.Compute != nil {
+		t.Error("analytical serve carries simulation stats")
+	}
+	if len(curve.MPKI) != Colors {
+		t.Fatalf("curve has %d points", len(curve.MPKI))
+	}
+	for i := 1; i < len(curve.MPKI); i++ {
+		if curve.MPKI[i] > curve.MPKI[i-1]+1e-9 {
+			t.Fatalf("estimate not monotone at %d: %v", i, curve.MPKI)
+		}
+	}
+	exact, _, err := NewEngine().Compute(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Distance(curve, exact); d > 0.05*exact.At(1)+1e-9 {
+		t.Errorf("estimate %v MPKI from exact curve (top %v)", d, exact.At(1))
+	}
+}
+
+// TestEstimateEscalates pins the fallback: under an unmeetable threshold
+// the estimate is rejected and the exact computation answers, stats
+// saying why.
+func TestEstimateEscalates(t *testing.T) {
+	tr := uniformRandTrace(11, 2000, 30_000, 90_000)
+	curve, st, err := NewEngine(WithApproxThreshold(1e-9)).Estimate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tier != "simulated" || st.Reason != "uncertain" {
+		t.Fatalf("tier %q reason %q, want simulated/uncertain", st.Tier, st.Reason)
+	}
+	if st.Compute == nil {
+		t.Fatal("escalated Estimate carries no simulation stats")
+	}
+	exact, _, err := NewEngine().Compute(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range exact.MPKI {
+		if curve.MPKI[i] != v {
+			t.Fatalf("escalated curve diverges from Compute at %d: %v vs %v", i, curve.MPKI[i], v)
+		}
+	}
+}
+
+// TestEstimateDisabled pins that threshold 0 turns Estimate into Compute
+// with tier bookkeeping.
+func TestEstimateDisabled(t *testing.T) {
+	tr := uniformRandTrace(13, 1000, 20_000, 60_000)
+	_, st, err := NewEngine(WithApproxThreshold(0)).Estimate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tier != "simulated" || st.Reason != "disabled" {
+		t.Fatalf("tier %q reason %q, want simulated/disabled", st.Tier, st.Reason)
+	}
+	if _, _, err := NewEngine().Estimate(nil); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	if _, _, err := NewEngine().Estimate(&Trace{}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
 func TestCurveTransposeAndDistance(t *testing.T) {
 	c := &Curve{MPKI: []float64{10, 8, 6, 4}}
 	orig := c.Clone()
