@@ -10,6 +10,7 @@
 //	mrcd -addr :7712
 //	mrcd -addr 127.0.0.1:0 -budget 1048576 -max-queued 65536 -epoch 8000
 //	mrcd -approx-threshold 0.35   # serve analytical estimates, escalate when uncertain
+//	mrcd -sampling-rate 0.1       # SHARDS-sample tenants by default; curves carry confidence bands
 //
 // API (see service.NewHandler for the full contract):
 //
@@ -31,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -38,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"rapidmrc/internal/sample"
 	"rapidmrc/internal/service"
 )
 
@@ -49,7 +52,24 @@ type config struct {
 	poolCap         int
 	epochEntries    int
 	approxThreshold float64
+	samplingRate    float64
 	drainTimeout    time.Duration
+}
+
+// validate rejects flag values the service would otherwise accept
+// silently or choke on at the first registration: sampling rates
+// outside (0, 1] (a *sample.RateError, the same typed error tenant
+// registration returns) and non-finite thresholds.
+func (c config) validate() error {
+	if c.samplingRate != 0 {
+		if err := (sample.Config{Rate: c.samplingRate}).Validate(); err != nil {
+			return fmt.Errorf("mrcd: -sampling-rate: %w", err)
+		}
+	}
+	if math.IsNaN(c.approxThreshold) || math.IsInf(c.approxThreshold, 0) {
+		return fmt.Errorf("mrcd: -approx-threshold must be finite, got %v", c.approxThreshold)
+	}
+	return nil
 }
 
 // daemon couples the service core with its HTTP front end. It is built
@@ -64,12 +84,16 @@ type daemon struct {
 // newDaemon builds the service and binds the listener (addr may be
 // ":0"-style for an ephemeral port).
 func newDaemon(cfg config) (*daemon, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	svc := service.New(service.Config{
 		GlobalBudget:    cfg.globalBudget,
 		MaxQueued:       cfg.maxQueued,
 		PoolCapacity:    cfg.poolCap,
 		EpochEntries:    cfg.epochEntries,
 		ApproxThreshold: cfg.approxThreshold,
+		SamplingRate:    cfg.samplingRate,
 	})
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -119,6 +143,8 @@ func main() {
 		"default auto-snapshot cadence in entries (0 = snapshot on demand only)")
 	flag.Float64Var(&cfg.approxThreshold, "approx-threshold", 0,
 		"default analytical-tier uncertainty threshold for tenants that do not set their own (0 = analytical tier off)")
+	flag.Float64Var(&cfg.samplingRate, "sampling-rate", 0,
+		"default SHARDS sampling rate in (0, 1] for tenants that do not set their own (0 = sampling off; tenants opt out with a negative rate)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second,
 		"how long to wait for in-flight requests on shutdown")
 	flag.Parse()

@@ -8,6 +8,7 @@
 //	mrcgen -app mcf
 //	mrcgen -app mcf -stream -epoch 20000
 //	mrcgen -app mcf -parallel-trace 4
+//	mrcgen -app mcf -sampling-rate 0.1
 //	mrcgen -app swim -entries 1600000 -real
 //	mrcgen -list
 package main
@@ -44,6 +45,7 @@ func main() {
 		withReal   = flag.Bool("real", false, "also measure the real MRC (16 full runs) and report the distance")
 		parallel   = flag.Int("parallel", 0, "worker pool size for the real-MRC runs (0 = one per CPU, 1 = serial)")
 		parTrace   = flag.Int("parallel-trace", 0, "process the trace itself with N parallel chunk passes (0 = serial engine, negative = one chunk per CPU); results are bit-identical")
+		sampling   = flag.Float64("sampling-rate", 0, "SHARDS-sample the probing period at this rate in (0, 1] before the stack engine (0 = off); the curve gains a confidence band")
 		list       = flag.Bool("list", false, "list available applications")
 		save       = flag.String("save", "", "write the captured (uncorrected) trace to this file")
 		load       = flag.String("load", "", "compute from a previously saved trace instead of capturing")
@@ -82,6 +84,14 @@ func main() {
 	}
 	if *parTrace != 0 {
 		opts = append(opts, rapidmrc.WithTraceParallelism(*parTrace))
+	}
+	if *sampling != 0 {
+		// The option validates the rate at apply time (a *sample.RateError
+		// for anything outside (0, 1]); the constructor surfaces it.
+		opts = append(opts, rapidmrc.WithSamplingRate(*sampling))
+		if *load != "" {
+			fail(fmt.Errorf("-sampling-rate applies to the online capture paths, not -load"))
+		}
 	}
 
 	if *stream && *save != "" {
@@ -135,6 +145,17 @@ func main() {
 	fmt.Printf("compute: %d Mcycles, warmup %d entries (auto=%v), stack hit rate %.0f%%, %d entries converted\n",
 		stats.ComputeCycles/1e6, stats.WarmupEntries, stats.AutoWarmup,
 		100*stats.StackHitRate, stats.Converted)
+	if stats.SamplingRate != 0 {
+		width := 0.0
+		for i := range stats.BandLow {
+			width += stats.BandHigh[i] - stats.BandLow[i]
+		}
+		if n := len(stats.BandLow); n > 0 {
+			width /= float64(n)
+		}
+		fmt.Printf("sampling: rate %.4f, %.0f%% band mean width %.2f MPKI, %.0f effective samples\n",
+			stats.SamplingRate, 100*stats.BandLevel, width, stats.EffSamples)
+	}
 
 	x := make([]float64, len(curve.MPKI))
 	for i := range x {

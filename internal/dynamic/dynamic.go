@@ -20,6 +20,7 @@ import (
 	"rapidmrc/internal/phase"
 	"rapidmrc/internal/platform"
 	"rapidmrc/internal/pmu"
+	"rapidmrc/internal/sample"
 	"rapidmrc/internal/service"
 	"rapidmrc/internal/workload"
 )
@@ -61,6 +62,33 @@ type Config struct {
 	// its uncertainty score is within the threshold, escalating to a full
 	// engine probe otherwise. Zero keeps every probe on the full engine.
 	ApproxThreshold float64
+	// SamplingRate enables the SHARDS-sampled probing tier: a
+	// recomputation for an application whose phase detector reports a
+	// stable miss rate (not mid-transition) runs the Mattson engine
+	// behind a hash-threshold spatial sampler at this rate, and each
+	// accepted sampled probe halves the application's rate for the next
+	// refresh (down to SamplingMinRate), so long-stable applications get
+	// progressively cheaper recomputations. The sampled curve is kept
+	// only when its confidence band stays under SamplingBandMPKI and it
+	// cross-validates against the application's banked previous curve
+	// (SamplingCrossVal); otherwise the probe escalates to a full-rate
+	// engine probe and the application's rate progression resets —
+	// mirroring the ApproxThreshold escalation contract. Zero keeps
+	// every probe at full rate; rates outside (0, 1] are rejected by New.
+	SamplingRate float64
+	// SamplingMinRate floors the progressive halving. Zero uses
+	// SamplingRate/8.
+	SamplingMinRate float64
+	// SamplingBandMPKI is the mean confidence-band width above which a
+	// sampled probe escalates to full rate. Zero uses
+	// DefaultSamplingBandMPKI.
+	SamplingBandMPKI float64
+	// SamplingCrossVal bounds the banked cross-validation: the sampled
+	// curve's mean absolute MPKI distance from the application's previous
+	// curve, normalized by the previous curve's mean level, above which
+	// the probe escalates. Zero uses DefaultSamplingCrossVal; negative
+	// disables cross-validation (band width still gates).
+	SamplingCrossVal float64
 	// Pool supplies (and reclaims) the stream engines the controller's
 	// recomputations run on, so repeated probing periods reset and reuse
 	// engine state instead of reallocating it. Nil gets a private pool.
@@ -70,6 +98,13 @@ type Config struct {
 // DefaultConvergenceWindow is the settle window reprofile always used
 // before it became configurable.
 const DefaultConvergenceWindow = 2
+
+// Sampled-tier escalation defaults (see Config.SamplingBandMPKI and
+// Config.SamplingCrossVal).
+const (
+	DefaultSamplingBandMPKI = 2.0
+	DefaultSamplingCrossVal = 0.5
+)
 
 // DefaultConfig returns sensible controller parameters.
 func DefaultConfig() Config {
@@ -106,6 +141,12 @@ type Stats struct {
 	// uncertainty forced a follow-up full engine probe.
 	ApproxProfiles    int
 	ApproxEscalations int
+	// SampledProfiles counts recomputations settled by the SHARDS-
+	// sampled engine tier; SampledEscalations counts sampled probes
+	// whose band width or cross-validation forced a follow-up full-rate
+	// probe.
+	SampledProfiles    int
+	SampledEscalations int
 	// Allocations records the allocation after each interval (one entry
 	// per interval, app-major).
 	Allocations [][]int
@@ -121,6 +162,11 @@ type Controller struct {
 	alloc      []int
 	pending    []bool
 	pendingAge []int
+	// sampleRate is each application's current sampled-tier rate (only
+	// populated when the tier is enabled): halved after each accepted
+	// sampled probe, reset to Config.SamplingRate on phase transitions
+	// and escalations.
+	sampleRate []float64
 	stats      Stats
 }
 
@@ -139,6 +185,20 @@ func New(apps []workload.Config, opt platform.CoRunOptions, cfg Config) (*Contro
 	}
 	if err := cfg.Detector.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.SamplingRate != 0 {
+		if err := (sample.Config{Rate: cfg.SamplingRate}).Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.SamplingMinRate == 0 {
+			cfg.SamplingMinRate = cfg.SamplingRate / 8
+		}
+		if cfg.SamplingBandMPKI == 0 {
+			cfg.SamplingBandMPKI = DefaultSamplingBandMPKI
+		}
+		if cfg.SamplingCrossVal == 0 {
+			cfg.SamplingCrossVal = DefaultSamplingCrossVal
+		}
 	}
 
 	// Initial allocation: even split, remainder to the first apps.
@@ -166,6 +226,12 @@ func New(apps []workload.Config, opt platform.CoRunOptions, cfg Config) (*Contro
 	}
 	for i := 0; i < n; i++ {
 		c.detectors = append(c.detectors, phase.New(cfg.Detector))
+	}
+	if cfg.SamplingRate > 0 {
+		c.sampleRate = make([]float64, n)
+		for i := range c.sampleRate {
+			c.sampleRate[i] = cfg.SamplingRate
+		}
 	}
 	return c, nil
 }
@@ -220,6 +286,12 @@ func (c *Controller) runInterval() []float64 {
 // is anchored at the current partition size's measured miss rate.
 func (c *Controller) reprofile(i int) {
 	if c.cfg.ApproxThreshold > 0 && c.approxReprofile(i) {
+		return
+	}
+	// The sampled tier only runs on a stable miss rate: a probe forced
+	// through mid-transition (the maxDefer override) captures a phase
+	// mixture, where a cheap low-confidence curve is the wrong trade.
+	if c.cfg.SamplingRate > 0 && !c.detectors[i].InTransition() && c.sampledReprofile(i) {
 		return
 	}
 	m := c.machines[i]
@@ -317,6 +389,99 @@ func (c *Controller) approxReprofile(i int) bool {
 	return true
 }
 
+// sampledReprofile is the SHARDS-sampled probing tier: the same cycle-
+// interleaved capture as reprofile, but the engine sits behind a
+// spatial sampler at the application's current progressive rate, so
+// most captured references skip the Mattson stack entirely. The curve
+// is kept only when its confidence band is tight (mean width within
+// SamplingBandMPKI) and, when a banked curve exists, the new curve
+// cross-validates against it; otherwise it reports false, the caller
+// escalates to a full-rate probe, and the rate progression resets —
+// honesty about a cheap probe that wasn't good enough, same contract as
+// approxReprofile. An accepted probe halves the application's rate for
+// the next stable refresh, floored at SamplingMinRate.
+func (c *Controller) sampledReprofile(i int) bool {
+	m := c.machines[i]
+	p := m.PMU()
+	m.ResetMetrics()
+	eng, err := c.pool.GetSampled(core.DefaultConfig(),
+		sample.Config{Rate: c.sampleRate[i]}, c.cfg.TraceEntries)
+	if err != nil {
+		return false
+	}
+	defer c.pool.Put(eng)
+	se := eng.(*sample.Engine)
+	var corr core.StreamCorrector
+	startInstr := m.Core().Instructions()
+	p.StartTraceTo(pmu.SinkFunc(func(l mem.Line) {
+		se.Feed(corr.Feed(l))
+	}), c.cfg.TraceEntries, startInstr, m.Core().Cycles())
+	for !p.TraceFull() {
+		platform.NextByCycles(c.machines).Step()
+	}
+	_, st := p.FinishTrace(m.Core().Instructions(), m.Core().Cycles())
+	c.stats.ProbedEntries += st.Captured
+	res, err := se.Snapshot(st.Instructions)
+	if err != nil {
+		return c.escalateSampled(i)
+	}
+	if b := se.Bands(); b.Width() > c.cfg.SamplingBandMPKI {
+		return c.escalateSampled(i)
+	}
+	res.MRC.Transpose(c.alloc[i]-1, m.Metrics().MPKI())
+	if prev := c.curves[i]; prev != nil && c.cfg.SamplingCrossVal > 0 &&
+		curveDistance(res.MRC, prev) > c.cfg.SamplingCrossVal {
+		return c.escalateSampled(i)
+	}
+	c.curves[i] = res.MRC
+	c.stats.Recomputations++
+	c.stats.SampledProfiles++
+	if next := c.sampleRate[i] / 2; next >= c.cfg.SamplingMinRate {
+		c.sampleRate[i] = next
+	}
+	return true
+}
+
+// escalateSampled records a rejected sampled probe and resets the
+// application's rate progression; it returns false so reprofile falls
+// through to the full-rate path.
+func (c *Controller) escalateSampled(i int) bool {
+	c.stats.SampledEscalations++
+	c.sampleRate[i] = c.cfg.SamplingRate
+	return false
+}
+
+// curveDistance is the banked cross-validation metric: mean absolute
+// MPKI distance between the curves, normalized by the banked curve's
+// mean level. Two captures of the same phase land well under 1; a phase
+// the detector missed (or a sampled curve that went wrong) shows up as
+// a large relative distance.
+func curveDistance(got, banked *core.MRC) float64 {
+	n := len(got.MPKI)
+	if len(banked.MPKI) < n {
+		n = len(banked.MPKI)
+	}
+	if n == 0 {
+		return 0
+	}
+	var diff, level float64
+	for i := 0; i < n; i++ {
+		d := got.MPKI[i] - banked.MPKI[i]
+		if d < 0 {
+			d = -d
+		}
+		diff += d
+		level += banked.MPKI[i]
+	}
+	if level <= 0 {
+		if diff > 0 {
+			return 1
+		}
+		return 0
+	}
+	return diff / level
+}
+
 // maybeRepartition re-optimizes the allocation when every application has
 // a curve and the predicted gain clears the hysteresis.
 func (c *Controller) maybeRepartition() {
@@ -356,6 +521,11 @@ func (c *Controller) Run(n int) Stats {
 			if c.detectors[i].Observe(mpki[i]) {
 				c.stats.Transitions++
 				c.pending[i] = true
+				// A new phase invalidates the stability the progressive
+				// sampling rate was earned under.
+				if c.sampleRate != nil {
+					c.sampleRate[i] = c.cfg.SamplingRate
+				}
 			}
 			// Initial profile once the detector has a baseline. The
 			// lifetime interval counter matters here: Run may be called

@@ -299,3 +299,95 @@ func TestDynamicBeatsStaticOnPhasedWorkload(t *testing.T) {
 			dynFlipper+dynPartner, statFlipper+statPartner)
 	}
 }
+
+// TestSampledTierProfiles pins the SHARDS-sampled probing tier: with
+// permissive escalation bounds the stationary apps' stable-phase
+// recomputations settle on the sampled engine, every app still gets a
+// curve, and the per-app rate progression halves after an accepted
+// probe.
+func TestSampledTierProfiles(t *testing.T) {
+	apps := []workload.Config{
+		workload.MustByName("crafty"),
+		workload.MustByName("gzip"),
+	}
+	cfg := testConfig()
+	cfg.SamplingRate = 0.5
+	cfg.SamplingBandMPKI = 1000 // never escalate on band width
+	cfg.SamplingCrossVal = 1000 // never escalate on cross-validation
+	c, err := New(apps, opt(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Run(8)
+	if st.SampledProfiles < 2 {
+		t.Fatalf("sampled tier settled %d probes, want at least one per app: %+v",
+			st.SampledProfiles, st)
+	}
+	if st.SampledEscalations != 0 {
+		t.Errorf("%d escalations under permissive bounds", st.SampledEscalations)
+	}
+	for i := range apps {
+		if c.curves[i] == nil {
+			t.Errorf("app %d has no curve", i)
+		}
+		if c.sampleRate[i] >= cfg.SamplingRate {
+			t.Errorf("app %d rate %v never progressed below %v",
+				i, c.sampleRate[i], cfg.SamplingRate)
+		}
+		if c.sampleRate[i] < cfg.SamplingRate/8 {
+			t.Errorf("app %d rate %v fell through the default floor", i, c.sampleRate[i])
+		}
+	}
+}
+
+// TestSampledTierEscalates pins the escalation contract: a band-width
+// bound no sampled probe can meet forces every one to fall through to a
+// full-rate probe, resetting the rate progression, and the recomputation
+// counter only reflects curves that were actually adopted.
+func TestSampledTierEscalates(t *testing.T) {
+	apps := []workload.Config{
+		workload.MustByName("crafty"),
+		workload.MustByName("gzip"),
+	}
+	cfg := testConfig()
+	cfg.SamplingRate = 0.25
+	cfg.SamplingBandMPKI = 1e-12 // unmeetable: every sampled probe escalates
+	c, err := New(apps, opt(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Run(8)
+	if st.SampledEscalations == 0 {
+		t.Fatalf("no escalations under an unmeetable band bound: %+v", st)
+	}
+	if st.SampledProfiles != 0 {
+		t.Errorf("%d probes settled sampled under band bound 1e-12", st.SampledProfiles)
+	}
+	if st.Recomputations < 2 {
+		t.Fatalf("escalation lost recomputations: %+v", st)
+	}
+	for i := range apps {
+		if c.curves[i] == nil {
+			t.Errorf("app %d has no curve after escalation", i)
+		}
+		if c.sampleRate[i] != cfg.SamplingRate {
+			t.Errorf("app %d rate %v not reset by escalation", i, c.sampleRate[i])
+		}
+	}
+}
+
+// TestSampledTierValidation pins New's rejection of bad sampled-tier
+// rates.
+func TestSampledTierValidation(t *testing.T) {
+	apps := []workload.Config{
+		workload.MustByName("crafty"),
+		workload.MustByName("gzip"),
+	}
+	for _, rate := range []float64{-0.5, 1.5} {
+		cfg := testConfig()
+		cfg.SamplingRate = rate
+		if _, err := New(apps, opt(), cfg); err == nil {
+			t.Errorf("sampling rate %v accepted", rate)
+		}
+	}
+}

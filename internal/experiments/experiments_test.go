@@ -16,7 +16,7 @@ func testCfg(apps ...string) Config {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ext-approx", "ext-dynamic", "ext-globalmrc", "ext-pmubuffer",
-		"ext-replacement",
+		"ext-replacement", "ext-sampling",
 		"fig1", "fig2a", "fig2b", "fig2c", "fig3", "fig4",
 		"fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig6", "fig7",
 		"table1", "table2"}
@@ -477,6 +477,58 @@ func TestApproxCrossValidation(t *testing.T) {
 		t.Error("no app escalated: the uncertainty score is not discriminating")
 	}
 	for _, want := range []string{"By curve-shape class", "MeanRelChe", "Escalated"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestSamplingSweepSmoke is the acceptance smoke for the spatial-sampling
+// tier: a 3-workload quick sweep asserting the two properties the full
+// ext-sampling run is budgeted on — rate 1.0 is bit-identical to the
+// unsampled simulation, and some cheaper rate stays within the 0.02
+// miss-ratio MAE budget while actually being cheaper to feed.
+func TestSamplingSweepSmoke(t *testing.T) {
+	var b bytes.Buffer
+	rows, summaries, err := ExtSampling(&b, testCfg("mcf", "crafty", "twolf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*len(SamplingRates) {
+		t.Fatalf("%d rows, want %d", len(rows), 3*len(SamplingRates))
+	}
+	for _, r := range rows {
+		if r.Rate == 1.0 {
+			if !r.Identical {
+				t.Errorf("%s: rate 1.0 not bit-identical (err %v)", r.App, r.Err)
+			}
+			if r.Err != 0 || r.MRErr != 0 {
+				t.Errorf("%s: rate 1.0 err %v / MR %v, want exactly 0", r.App, r.Err, r.MRErr)
+			}
+		}
+		if r.MRScale <= 0 {
+			t.Errorf("%s rate %v: MRScale %v not positive", r.App, r.Rate, r.MRScale)
+		}
+	}
+	best := PickSamplingRate(summaries, 0.02)
+	if best == 0 {
+		t.Fatal("no swept rate within the 0.02 miss-ratio budget")
+	}
+	if best >= 1.0 {
+		t.Fatalf("only the unsampled rate met the budget (best %v)", best)
+	}
+	for _, s := range summaries {
+		if s.Rate != best {
+			continue
+		}
+		if s.MeanMRErr > 0.02 {
+			t.Errorf("picked rate %v mean MR-MAE %v beyond budget", best, s.MeanMRErr)
+		}
+		if s.MeanSpeedup <= 1 {
+			t.Errorf("picked rate %v mean speedup %vx, want > 1", best, s.MeanSpeedup)
+		}
+	}
+	for _, want := range []string{"MR-MAE", "Speedup", "Per-app detail"} {
 		if !strings.Contains(b.String(), want) {
 			t.Errorf("report missing %q", want)
 		}

@@ -39,6 +39,7 @@ var registry = map[string]Runner{
 	"ext-dynamic":     func(w io.Writer, cfg Config) error { _, err := ExtDynamic(w, cfg); return err },
 	"ext-globalmrc":   func(w io.Writer, cfg Config) error { _, err := ExtGlobalMRC(w, cfg); return err },
 	"ext-replacement": func(w io.Writer, cfg Config) error { _, err := ExtReplacement(w, cfg); return err },
+	"ext-sampling":    func(w io.Writer, cfg Config) error { _, _, err := ExtSampling(w, cfg); return err },
 }
 
 // Names returns the registered experiment ids, sorted.

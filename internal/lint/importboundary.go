@@ -17,7 +17,7 @@ const internalPrefix = "rapidmrc/internal/"
 //	layer 0  mem
 //	layer 1  core cache cpu color prefetch pmu workload tracefile
 //	         contend runner prof report
-//	layer 2  platform partition phase approx core/parstack
+//	layer 2  platform partition phase approx sample core/parstack
 //	layer 3  benchsuite service
 //	layer 4  dynamic
 //	layer 5  experiments
@@ -54,6 +54,7 @@ var pkgLayer = map[string]int{
 	"partition":     2,
 	"phase":         2,
 	"approx":        2,
+	"sample":        2,
 	"benchsuite":    3,
 	"service":       3,
 	"dynamic":       4,

@@ -52,11 +52,23 @@ func (c Config) Validate() error {
 
 // Detector consumes one MPKI sample per interval and reports transitions.
 // The zero value is not usable; construct with New.
+//
+// Cold start is guarded: until the very first window has filled with
+// mutually stable samples, a sample that jumps by more than the
+// threshold restarts the fill instead of entering the baseline. The
+// first interval after a probing period starts routinely carries an
+// inflated miss rate (cold stack, warmup effects); without the guard
+// that outlier sits in the baseline window and the first *stable*
+// interval afterwards reads as a spurious phase change — which forced
+// one needless escalation per tenant in the approx tier. A detector
+// cannot report a transition before its first window fills either way,
+// so the guard costs no detection capability.
 type Detector struct {
 	cfg          Config
 	history      []float64
 	last         float64
 	haveLast     bool
+	primed       bool // the first window filled with stable samples
 	inTransition bool
 	transitions  int
 }
@@ -95,7 +107,18 @@ func (d *Detector) Observe(mpki float64) bool {
 	}
 
 	if len(d.history) < d.cfg.Window {
+		if !d.primed && len(d.history) > 0 &&
+			abs(mpki-d.history[len(d.history)-1]) > d.cfg.ThresholdMPKI {
+			// Cold-start guard: a jump while the first window is still
+			// filling is a startup transient, not a phase change — drop
+			// the outlier prefix and restart the baseline here.
+			d.history = append(d.history[:0], mpki)
+			return false
+		}
 		d.history = append(d.history, mpki)
+		if len(d.history) == d.cfg.Window {
+			d.primed = true
+		}
 		return false
 	}
 
@@ -122,6 +145,7 @@ func (d *Detector) Observe(mpki float64) bool {
 func (d *Detector) Reset() {
 	d.history = d.history[:0]
 	d.haveLast = false
+	d.primed = false
 	d.inTransition = false
 	d.transitions = 0
 }

@@ -150,6 +150,46 @@ func TestInTransitionExposed(t *testing.T) {
 	}
 }
 
+func TestColdStartOutlierSilent(t *testing.T) {
+	// The first auto-epoch of a probing period reports an inflated miss
+	// rate (cold stack, warmup effects). Regression: that outlier used
+	// to enter the baseline window and make the first stable interval
+	// read as a phase change — one needless escalation per tenant.
+	d := New(DefaultConfig())
+	if d.Observe(100) {
+		t.Fatal("fired on the very first sample")
+	}
+	for i := 0; i < 20; i++ {
+		if d.Observe(5) {
+			t.Fatalf("cold-start outlier caused a spurious transition at interval %d", i)
+		}
+	}
+	if d.Transitions() != 0 {
+		t.Fatalf("transitions = %d, want 0", d.Transitions())
+	}
+	// The guard must not blunt real detection: a genuine step after the
+	// stable prefix still fires exactly once.
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if d.Observe(40) {
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("genuine step fired %d times, want 1", fired)
+	}
+	// And the guard re-arms after Reset.
+	d.Reset()
+	if d.Observe(80) {
+		t.Fatal("fired on the first sample after Reset")
+	}
+	for i := 0; i < 5; i++ {
+		if d.Observe(12) {
+			t.Fatal("post-Reset cold-start outlier caused a spurious transition")
+		}
+	}
+}
+
 func TestReset(t *testing.T) {
 	d := New(DefaultConfig())
 	for i := 0; i < 5; i++ {

@@ -1,0 +1,493 @@
+// Package sample implements SHARDS-style spatial sampling for the MRC
+// engine: references are filtered by a hash of their cache-line address
+// before they reach the Mattson stack, so a probing period costs a
+// fraction of the full simulation while the curve stays statistically
+// faithful (Waldspurger et al., "SHARDS"; surveyed in Byrne,
+// arXiv:1804.01972).
+//
+// The filter is threshold-based over Buckets hash buckets: a reference is
+// kept iff hash(line) mod Buckets < T, giving sampling rate R = T/Buckets.
+// Spatial (per-address) sampling preserves reuse structure — every
+// occurrence of a sampled line is kept, so its reuse distances are
+// observed exactly, just over a subsampled address population. Observed
+// distances are scaled by 1/R back into the full-stack domain and
+// histogram counts carry weight 1/R, so the standard CurveFromHist-style
+// integration applies unchanged.
+//
+// The fixed-size (s_max) variant bounds the sample: when the kept-sample
+// count exceeds a budget the threshold halves, lowering the rate for the
+// remainder of the stream. Samples recorded earlier keep the weight that
+// was in force when they were recorded (per-sample weighting). Because
+// entries cannot be evicted from the range stack by hash, references
+// already on the stack at the old rate stay there — a documented
+// second-order bias; distances that scale beyond StackLines are counted
+// as infinite, so the effective modeled capacity self-adjusts.
+//
+// Every snapshot carries a confidence band derived from the effective
+// sample size (Kish: (Σw)²/Σw²) of the weighted miss proportion at each
+// curve point. At rate 1.0 the engine is bit-identical to
+// core.StreamEngine — same histogram, curve, warmup outcome, and modeled
+// cycles — and the bands collapse to the curve (no sampling error); the
+// property tests in sample_test.go pin this.
+package sample
+
+import (
+	"errors"
+	"math"
+	"strconv"
+
+	"rapidmrc/internal/core"
+	"rapidmrc/internal/mem"
+)
+
+// Buckets is the hash-space size the threshold is expressed in (the
+// SHARDS modulus P). 2²⁴ buckets make the coarsest non-zero rate ~6e-8,
+// far below any useful setting, while keeping the filter a mask-and-
+// compare.
+const Buckets = 1 << 24
+
+const bucketMask = Buckets - 1
+
+// DefaultLevel is the confidence level bands are built at when the
+// configuration does not choose one.
+const DefaultLevel = 0.95
+
+// Config parameterizes the sampler.
+type Config struct {
+	// Rate is the target sampling rate in (0, 1]: the fraction of the
+	// cache-line address space whose references are kept. 1.0 keeps
+	// everything (bit-identical to the serial engine).
+	Rate float64
+	// SMax, when > 0, enables the fixed-size SHARDS variant: once the
+	// kept-sample count reaches the budget the threshold halves (and
+	// again each time half a budget more accumulates), bounding the work
+	// a pathological trace can cost. 0 keeps the rate fixed.
+	SMax int
+	// Level is the confidence level of the reported bands: one of 0.90,
+	// 0.95, or 0.99. Zero means DefaultLevel.
+	Level float64
+}
+
+// Validate reports configuration errors. Rates outside (0, 1] and
+// non-finite values are rejected here — the single validation point the
+// facade options, the daemon flags, and the service Register path all
+// route through.
+func (c Config) Validate() error {
+	if math.IsNaN(c.Rate) || c.Rate <= 0 || c.Rate > 1 {
+		return &RateError{Rate: c.Rate}
+	}
+	if c.SMax < 0 {
+		return errors.New("sample: SMax " + strconv.Itoa(c.SMax))
+	}
+	switch c.Level {
+	case 0, 0.90, 0.95, 0.99:
+	default:
+		return errors.New("sample: confidence level " + strconv.FormatFloat(c.Level, 'g', -1, 64) + " (use 0.90, 0.95 or 0.99)")
+	}
+	return nil
+}
+
+// level resolves the configured confidence level.
+func (c Config) level() float64 {
+	if c.Level == 0 {
+		return DefaultLevel
+	}
+	return c.Level
+}
+
+// RateError reports a sampling rate outside (0, 1] or non-finite.
+type RateError struct{ Rate float64 }
+
+func (e *RateError) Error() string {
+	return "sample: rate " + strconv.FormatFloat(e.Rate, 'g', -1, 64) + " outside (0, 1]"
+}
+
+// zScore returns the two-sided normal quantile for a supported level.
+func zScore(level float64) float64 {
+	switch level {
+	case 0.90:
+		return 1.645
+	case 0.99:
+		return 2.576
+	default:
+		return 1.96
+	}
+}
+
+// hashLine spreads a cache-line address over the hash space: the
+// splitmix64 finalizer, whose avalanche keeps stride-heavy synthetic
+// address streams from aliasing into one bucket region.
+func hashLine(l mem.Line) uint64 {
+	x := uint64(l)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Bands is the confidence band attached to one snapshot's curve: for
+// each MRC point, Low and High bound the MPKI at the configured Level.
+// The band derives from the normal approximation to the weighted miss
+// proportion, with the variance inflated to the Kish effective sample
+// size (Σw)²/Σw² — equal weights give back n, down-adapted mixes give
+// less. At rate 1.0 with no adaptation the band has zero width: the
+// trace was exhaustive, there is no sampling error to bound.
+type Bands struct {
+	// Low and High are the per-point MPKI bounds (Low clamped at 0).
+	Low, High []float64
+	// Level is the confidence level the bounds hold at.
+	Level float64
+	// EffSamples is the Kish effective sample size behind the bounds.
+	EffSamples float64
+	// Rate is the effective sampling rate when the snapshot was taken
+	// (below the configured rate after s_max adaptation).
+	Rate float64
+}
+
+// Width returns the mean band width in MPKI — the scalar the escalation
+// policies compare against a threshold.
+func (b Bands) Width() float64 {
+	if len(b.Low) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range b.Low {
+		sum += b.High[i] - b.Low[i]
+	}
+	return sum / float64(len(b.Low))
+}
+
+// Engine is the sampled counterpart of core.StreamEngine: it consumes
+// every captured reference, keeps the hash-selected fraction, and
+// produces epoch snapshots whose curves carry confidence bands. It
+// satisfies the service engine contract (Feed/Consumed/Warming/Snapshot)
+// and the pool's reset-and-reuse lifecycle. Not safe for concurrent use.
+type Engine struct {
+	cfg  core.Config
+	scfg Config
+
+	target      int
+	staticLimit int
+	fixed       bool
+
+	threshold uint64  // keep iff hash & bucketMask < threshold
+	rate      float64 // threshold / Buckets
+	weight    float64 // 1 / rate
+	adaptAt   int     // sampled count triggering the next halving; 0 = off
+	adapted   int     // halvings so far
+
+	stack core.Stack
+	histW []float64 // weighted histogram over [1, StackLines]
+	infW  float64
+	hitsW float64
+	sumW  float64 // Σw over recorded references
+	sumW2 float64 // Σw² over recorded references
+
+	consumed int // every reference fed, sampled or not
+	post     int // references fed after warmup ended, sampled or not
+	sampled  int // references passing the hash filter
+	warm     int // sampled references consumed by warmup
+	recorded int // sampled post-warmup references
+	warming  bool
+	auto     bool
+
+	bands Bands // from the latest Snapshot
+}
+
+// NewEngine returns a sampled engine expecting a probing period of
+// target captured entries (the pre-filter count, as for
+// core.NewStreamEngine).
+func NewEngine(cfg core.Config, scfg Config, target int) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := scfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:   cfg,
+		scfg:  scfg,
+		fixed: cfg.FixedWarmupEntries >= 0,
+		histW: make([]float64, cfg.StackLines+1),
+	}
+	// The stack only ever sees the sampled fraction of the address
+	// space, so its capacity scales with the rate: distances are scaled
+	// back by 1/rate, and a scaled distance beyond StackLines is an
+	// infinite miss regardless — a full-size stack would spend memory
+	// and walk time tracking lines whose distances cannot matter.
+	capacity := int(math.Round(float64(cfg.StackLines) * e.initialRate()))
+	if capacity < 1 {
+		capacity = 1
+	}
+	e.stack = core.NewRangeStack(capacity, cfg.GroupSize)
+	if err := e.Reset(target); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// initialRate is the exact rate the configured Rate quantizes to.
+func (e *Engine) initialRate() float64 {
+	return float64(initialThreshold(e.scfg.Rate)) / Buckets
+}
+
+// initialThreshold quantizes a configured rate onto the bucket grid.
+func initialThreshold(rate float64) uint64 {
+	t := uint64(math.Round(rate * Buckets))
+	if t < 1 {
+		t = 1
+	}
+	if t > Buckets {
+		t = Buckets
+	}
+	return t
+}
+
+// Reset returns the engine to its initial state with a new
+// probing-period target, retaining the stack and histogram allocations —
+// the pool's reset-and-reuse entry point. The threshold returns to the
+// configured rate (any s_max adaptation is forgotten).
+func (e *Engine) Reset(target int) error {
+	if target <= 0 {
+		return errors.New("sample: stream target " + strconv.Itoa(target))
+	}
+	e.target = target
+	e.threshold = initialThreshold(e.scfg.Rate)
+	e.rate = float64(e.threshold) / Buckets
+	e.weight = 1 / e.rate
+	e.adaptAt = 0
+	if e.scfg.SMax > 0 {
+		e.adaptAt = e.scfg.SMax
+	}
+	e.adapted = 0
+	e.stack.Reset()
+	clear(e.histW)
+	e.infW, e.hitsW, e.sumW, e.sumW2 = 0, 0, 0, 0
+	e.consumed, e.post, e.sampled, e.warm, e.recorded = 0, 0, 0, 0, 0
+	e.warming = true
+	e.auto = false
+	e.setStaticLimit()
+	return nil
+}
+
+// setStaticLimit sizes the warmup budget for the rate currently in
+// force. The budget counts stack references, which arrive at ~rate× the
+// captured stream, so the static fraction scales with the rate (exact at
+// rate 1.0, where this is the serial engine's computation) — and shrinks
+// again whenever s_max adaptation halves the rate mid-warmup, so warmup
+// cannot swallow the whole down-adapted stream.
+func (e *Engine) setStaticLimit() {
+	sampledTarget := int(math.Round(float64(e.target) * e.rate))
+	if sampledTarget < 1 {
+		sampledTarget = 1
+	}
+	e.staticLimit = int(float64(sampledTarget) * e.cfg.StaticWarmupFrac)
+	if e.fixed {
+		e.staticLimit = int(math.Round(float64(e.cfg.FixedWarmupEntries) * e.rate))
+		if e.staticLimit >= sampledTarget {
+			e.staticLimit = sampledTarget - 1
+		}
+	}
+}
+
+// Config returns the compute configuration — the pool's matching key.
+func (e *Engine) Config() core.Config { return e.cfg }
+
+// SampleConfig returns the sampling configuration — the second half of
+// the pool's matching key.
+func (e *Engine) SampleConfig() Config { return e.scfg }
+
+// Rate returns the effective sampling rate currently in force (below
+// the configured rate once s_max adaptation has halved the threshold).
+func (e *Engine) Rate() float64 { return e.rate }
+
+// Adaptations returns how many times the threshold has halved.
+func (e *Engine) Adaptations() int { return e.adapted }
+
+// Consumed returns the number of references fed so far (pre-filter).
+func (e *Engine) Consumed() int { return e.consumed }
+
+// Sampled returns the number of references kept by the filter so far.
+func (e *Engine) Sampled() int { return e.sampled }
+
+// Recorded returns the number of sampled post-warmup references.
+func (e *Engine) Recorded() int { return e.recorded }
+
+// Warming reports whether the engine is still inside warmup.
+func (e *Engine) Warming() bool { return e.warming }
+
+// Target returns the expected probing-period length (pre-filter).
+func (e *Engine) Target() int { return e.target }
+
+// Feed consumes one captured reference. The hash filter runs first; a
+// rejected reference costs one hash and one compare. A kept reference
+// follows the serial engine's warmup state machine exactly, then records
+// its stack distance scaled by the weight in force.
+//
+//rapidmrc:hotpath
+func (e *Engine) Feed(line mem.Line) {
+	e.consumed++
+	if hashLine(line)&bucketMask >= e.threshold {
+		if !e.warming {
+			e.post++
+		}
+		return
+	}
+	e.sampled++
+	if e.adaptAt > 0 && e.sampled >= e.adaptAt {
+		e.adapt()
+	}
+	if e.warming {
+		if !e.fixed && e.stack.Full() {
+			e.auto = true
+			e.warming = false
+		} else if e.warm >= e.staticLimit {
+			e.warming = false
+		} else {
+			e.stack.Reference(line)
+			e.warm++
+			return
+		}
+	}
+	e.post++
+	d := e.stack.Reference(line)
+	e.recorded++
+	w := e.weight
+	e.sumW += w
+	e.sumW2 += w * w
+	if d == core.Infinite {
+		e.infW += w
+		return
+	}
+	idx := int(float64(d)*w + 0.5)
+	if idx > e.cfg.StackLines {
+		// Scaled beyond the modeled capacity (possible after a halving,
+		// when stale higher-rate residents deepen the stack): a miss at
+		// every size.
+		e.infW += w
+		return
+	}
+	if idx < 1 {
+		idx = 1
+	}
+	e.hitsW += w
+	e.histW[idx] += w
+}
+
+// adapt halves the threshold — the fixed-size SHARDS rate adaptation.
+// The triggering reference passed the filter at the old threshold and is
+// kept; references recorded from here on carry the new, larger weight.
+// The next halving arms after half a budget more samples (the cadence an
+// evicting implementation would show, where a halving discards half the
+// sample set).
+func (e *Engine) adapt() {
+	if e.threshold <= 1 {
+		e.adaptAt = 0
+		return
+	}
+	e.threshold >>= 1
+	e.rate = float64(e.threshold) / Buckets
+	e.weight = 1 / e.rate
+	e.adapted++
+	if e.warming {
+		e.setStaticLimit()
+	}
+	step := e.scfg.SMax / 2
+	if step < 1 {
+		step = 1
+	}
+	e.adaptAt += step
+}
+
+// Snapshot builds the curve from everything consumed so far, with its
+// confidence band (readable via Bands until the next Snapshot).
+// instructions is the application's progress over the consumed portion
+// of the probing period, exactly as for core.StreamEngine.Snapshot;
+// MPKI normalization prorates over all post-warmup references — sampled
+// or not — so the time window matches the unsampled engine's.
+func (e *Engine) Snapshot(instructions uint64) (*core.Result, error) {
+	if e.recorded == 0 {
+		return nil, errors.New("sample: no references recorded from " +
+			strconv.Itoa(e.consumed) + " fed at rate " +
+			strconv.FormatFloat(e.rate, 'g', 4, 64))
+	}
+	instrEff := core.EffectiveInstructions(instructions, e.post, e.consumed)
+	mpki, missW := curveFromWeightedHist(e.histW, e.infW, instrEff, e.cfg)
+	hist := make([]uint64, len(e.histW))
+	for d, w := range e.histW {
+		hist[d] = uint64(w + 0.5)
+	}
+	e.bands = e.deriveBands(mpki, missW, instrEff)
+	return &core.Result{
+		MRC:           &core.MRC{MPKI: mpki},
+		Hist:          hist,
+		InfMisses:     uint64(e.infW + 0.5),
+		WarmupEntries: e.warm,
+		AutoWarmup:    e.auto,
+		Recorded:      e.recorded,
+		StackHitRate:  e.hitsW / e.sumW,
+		Instructions:  instrEff,
+		ModelCycles:   uint64(e.warm+e.recorded)*e.cfg.CostFixed + e.stack.Walks()*e.cfg.CostPerWalk,
+	}, nil
+}
+
+// Bands returns the confidence band of the most recent Snapshot. The
+// zero value is returned before the first snapshot.
+func (e *Engine) Bands() Bands { return e.bands }
+
+// curveFromWeightedHist is core.CurveFromHist over the weighted
+// histogram, replicating its operation order exactly so that integer-
+// valued weights (rate 1.0) reproduce the serial curve bit for bit. It
+// additionally returns the weighted miss sum at each point, the
+// numerator of the band's miss proportion.
+func curveFromWeightedHist(hist []float64, inf float64, instrEff uint64, cfg core.Config) (mpki, missW []float64) {
+	mpki = make([]float64, cfg.Points)
+	missW = make([]float64, cfg.Points)
+	misses := inf
+	bound := cfg.Points * cfg.LinesPerPoint
+	for d := cfg.StackLines; d > bound; d-- {
+		misses += hist[d]
+	}
+	for p := cfg.Points - 1; p >= 0; p-- {
+		hi := (p + 1) * cfg.LinesPerPoint
+		missW[p] = misses
+		mpki[p] = 1000 * misses / float64(instrEff)
+		for d := hi; d > hi-cfg.LinesPerPoint; d-- {
+			misses += hist[d]
+		}
+	}
+	return mpki, missW
+}
+
+// deriveBands builds the confidence band for one snapshot.
+func (e *Engine) deriveBands(mpki, missW []float64, instrEff uint64) Bands {
+	b := Bands{
+		Low:   make([]float64, len(mpki)),
+		High:  make([]float64, len(mpki)),
+		Level: e.scfg.level(),
+		Rate:  e.rate,
+	}
+	if e.threshold == Buckets && e.adapted == 0 {
+		// Exhaustive trace: the curve is the measurement.
+		copy(b.Low, mpki)
+		copy(b.High, mpki)
+		b.EffSamples = float64(e.recorded)
+		return b
+	}
+	ess := e.sumW * e.sumW / e.sumW2
+	b.EffSamples = ess
+	z := zScore(b.Level)
+	for p := range mpki {
+		phat := missW[p] / e.sumW
+		se := math.Sqrt(phat * (1 - phat) / ess)
+		half := z * 1000 * se * e.sumW / float64(instrEff)
+		b.Low[p] = mpki[p] - half
+		if b.Low[p] < 0 {
+			b.Low[p] = 0
+		}
+		b.High[p] = mpki[p] + half
+	}
+	return b
+}

@@ -11,6 +11,7 @@ import (
 	"rapidmrc/internal/approx"
 	"rapidmrc/internal/core"
 	"rapidmrc/internal/partition"
+	"rapidmrc/internal/sample"
 )
 
 // DefaultColors is the partition-advice domain when the request does not
@@ -47,6 +48,16 @@ type RegisterRequest struct {
 	// at the given uncertainty threshold; zero inherits the daemon
 	// default, negative forces full simulation on every serve.
 	ApproxThreshold float64 `json:"approx_threshold,omitempty"`
+	// SamplingRate profiles this tenant through the SHARDS-sampled
+	// engine at the given rate in (0, 1]; zero inherits the daemon
+	// default, negative forces full-rate profiling. Rates outside (0, 1]
+	// are rejected with a 400. SamplingSMax > 0 enables the fixed-size
+	// variant (the rate halves whenever the kept-sample budget fills);
+	// SamplingLevel picks the confidence level of the reported bands
+	// (0.90, 0.95, or 0.99; zero means 0.95).
+	SamplingRate  float64 `json:"sampling_rate,omitempty"`
+	SamplingSMax  int     `json:"sampling_smax,omitempty"`
+	SamplingLevel float64 `json:"sampling_level,omitempty"`
 }
 
 // FeedRequest is the POST /tenants/{id}/feed body: one batch of raw
@@ -89,6 +100,16 @@ type CurveResponse struct {
 	Uncertainty   float64 `json:"uncertainty"`
 	Disagreement  float64 `json:"disagreement"`
 	CrossValError float64 `json:"crossval_error"`
+	// SamplingRate is the effective SHARDS rate behind this curve (absent
+	// when the tenant profiles unsampled); BandLow/BandHigh the per-point
+	// confidence band at BandLevel (transposed together with the curve
+	// when transpose_at applies), and EffSamples the effective sample
+	// size behind it.
+	SamplingRate float64   `json:"sampling_rate,omitempty"`
+	BandLow      []float64 `json:"band_low,omitempty"`
+	BandHigh     []float64 `json:"band_high,omitempty"`
+	BandLevel    float64   `json:"band_level,omitempty"`
+	EffSamples   float64   `json:"eff_samples,omitempty"`
 }
 
 // AdviceResponse is the GET /advice body: a color allocation across the
@@ -144,6 +165,11 @@ func NewHandler(svc *Service) http.Handler {
 			MaxQueued:    req.MaxQueued,
 			EpochEntries: req.EpochEntries,
 			Approx:       approx.PolicyConfig{Threshold: req.ApproxThreshold},
+			Sampling: sample.Config{
+				Rate:  req.SamplingRate,
+				SMax:  req.SamplingSMax,
+				Level: req.SamplingLevel,
+			},
 		})
 		if err != nil {
 			writeServiceError(w, err)
@@ -214,6 +240,11 @@ func NewHandler(svc *Service) http.Handler {
 			Uncertainty:   ep.Uncertainty,
 			Disagreement:  ep.Disagreement,
 			CrossValError: t.Stats().CrossValError,
+			SamplingRate:  ep.SamplingRate,
+			BandLow:       append([]float64(nil), ep.BandLow...),
+			BandHigh:      append([]float64(nil), ep.BandHigh...),
+			BandLevel:     ep.BandLevel,
+			EffSamples:    ep.EffSamples,
 		}
 		if at := q.Get("transpose_at"); at != "" {
 			ref, err := strconv.Atoi(at)
@@ -239,6 +270,18 @@ func NewHandler(svc *Service) http.Handler {
 			}
 			m := core.MRC{MPKI: resp.MPKI}
 			resp.Shift = m.Transpose(ref-1, measured)
+			// The band brackets the curve, so the v-offset moves it too
+			// (with the same clamp at the physical floor).
+			for i := range resp.BandLow {
+				resp.BandLow[i] += resp.Shift
+				if resp.BandLow[i] < 0 {
+					resp.BandLow[i] = 0
+				}
+				resp.BandHigh[i] += resp.Shift
+				if resp.BandHigh[i] < 0 {
+					resp.BandHigh[i] = 0
+				}
+			}
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
@@ -357,6 +400,7 @@ func writeMetrics(w http.ResponseWriter, svc *Service) {
 	gauge("rapidmrc_draining", draining)
 	gauge("rapidmrc_pool_idle_serial", int64(st.Pool.IdleSerial))
 	gauge("rapidmrc_pool_idle_parallel", int64(st.Pool.IdleParallel))
+	gauge("rapidmrc_pool_idle_sampled", int64(st.Pool.IdleSampled))
 	gauge("rapidmrc_pool_hits", int64(st.Pool.Hits))
 	gauge("rapidmrc_pool_misses", int64(st.Pool.Misses))
 	gauge("rapidmrc_pool_drops", int64(st.Pool.Drops))
@@ -398,6 +442,11 @@ func writeMetrics(w http.ResponseWriter, svc *Service) {
 		series("rapidmrc_tenant_uncertainty_milli", s.ID, int64(s.Uncertainty*1000))
 		series("rapidmrc_tenant_crossval_error_milli_mpki", s.ID,
 			int64(s.CrossValError*1000))
+		// Sampling series: the effective rate (milli-units; 0 = sampling
+		// off, 1000 = exhaustive) and the mean confidence-band width of
+		// the latest epoch.
+		series("rapidmrc_tenant_sampling_rate_milli", s.ID, int64(s.SamplingRate*1000))
+		series("rapidmrc_tenant_band_width_milli_mpki", s.ID, int64(s.BandWidthMPKI*1000))
 	}
 	w.Write(b)
 }

@@ -232,3 +232,85 @@ func TestHTTPAdviceAndMetrics(t *testing.T) {
 		t.Errorf("tenant list %+v", list)
 	}
 }
+
+func TestHTTPSampling(t *testing.T) {
+	trace := rawTrace(synthTrace(51, 30_000))
+
+	svc := New(Config{})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	c := ts.Client()
+
+	if code := doJSON(t, c, "POST", ts.URL+"/tenants", RegisterRequest{
+		ID: "s", Target: len(trace), SamplingRate: 0.1, SamplingLevel: 0.90,
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("register: %d", code)
+	}
+	if code := doJSON(t, c, "POST", ts.URL+"/tenants/s/feed",
+		FeedRequest{Lines: trace, Instructions: 3_000_000}, nil); code != http.StatusAccepted {
+		t.Fatal("feed failed")
+	}
+	var cr CurveResponse
+	if code := doJSON(t, c, "GET", ts.URL+"/tenants/s/curve?wait=1", nil, &cr); code != http.StatusOK {
+		t.Fatalf("curve: %d", code)
+	}
+	if cr.SamplingRate <= 0 || cr.SamplingRate > 0.11 {
+		t.Errorf("sampling_rate %v, want ~0.1", cr.SamplingRate)
+	}
+	if cr.BandLevel != 0.90 || cr.EffSamples <= 0 {
+		t.Errorf("band_level %v eff_samples %v", cr.BandLevel, cr.EffSamples)
+	}
+	if len(cr.BandLow) != len(cr.MPKI) || len(cr.BandHigh) != len(cr.MPKI) {
+		t.Fatalf("band lengths %d/%d vs %d points", len(cr.BandLow), len(cr.BandHigh), len(cr.MPKI))
+	}
+	for i := range cr.MPKI {
+		if cr.BandLow[i] > cr.MPKI[i] || cr.BandHigh[i] < cr.MPKI[i] {
+			t.Fatalf("band excludes curve at %d: [%v, %v] vs %v", i, cr.BandLow[i], cr.BandHigh[i], cr.MPKI[i])
+		}
+	}
+
+	// Transposed read shifts the bands along with the curve.
+	var tr CurveResponse
+	if code := doJSON(t, c, "GET", ts.URL+"/tenants/s/curve?wait=1&transpose_at=16&measured=50", nil, &tr); code != http.StatusOK {
+		t.Fatalf("transposed curve: %d", code)
+	}
+	for i := range tr.MPKI {
+		wantLow := cr.BandLow[i] + tr.Shift
+		if wantLow < 0 {
+			wantLow = 0
+		}
+		if tr.BandLow[i] != wantLow {
+			t.Fatalf("transposed band_low[%d] = %v, want %v (shift %v)", i, tr.BandLow[i], wantLow, tr.Shift)
+		}
+	}
+
+	// Bad rates map to 400 at registration time.
+	for _, rate := range []float64{2, -0.5} {
+		want := http.StatusBadRequest
+		if rate < 0 {
+			want = http.StatusCreated // negative = explicit full-rate override
+		}
+		if code := doJSON(t, c, "POST", ts.URL+"/tenants",
+			RegisterRequest{ID: fmt.Sprintf("r%v", rate), SamplingRate: rate}, nil); code != want {
+			t.Errorf("rate %v: status %d, want %d", rate, code, want)
+		}
+	}
+
+	// Metrics expose the per-tenant rate and band width.
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`rapidmrc_tenant_sampling_rate_milli{tenant="s"} 100`,
+		`rapidmrc_tenant_band_width_milli_mpki{tenant="s"}`,
+		"rapidmrc_pool_idle_sampled",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

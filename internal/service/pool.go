@@ -20,6 +20,7 @@ import (
 	"rapidmrc/internal/core"
 	"rapidmrc/internal/core/parstack"
 	"rapidmrc/internal/mem"
+	"rapidmrc/internal/sample"
 )
 
 // Engine is the incremental compute core a stream or tenant drives:
@@ -36,8 +37,9 @@ type Engine interface {
 
 // PoolStats counts pool traffic, for the metrics endpoint.
 type PoolStats struct {
-	// IdleSerial and IdleParallel are the engines currently retained.
-	IdleSerial, IdleParallel int
+	// IdleSerial, IdleParallel, and IdleSampled are the engines
+	// currently retained.
+	IdleSerial, IdleParallel, IdleSampled int
 	// Hits counts Gets served by resetting a retained engine; Misses
 	// counts Gets that had to construct; Drops counts Puts discarded
 	// because the pool was at capacity.
@@ -59,6 +61,7 @@ type EnginePool struct {
 	capacity int
 	serial   []*core.StreamEngine
 	parallel []*parstack.Feeder
+	sampled  []*sample.Engine
 	hits     int
 	misses   int
 	drops    int
@@ -101,6 +104,20 @@ func (p *EnginePool) Get(cfg core.Config, target, workers int) (Engine, error) {
 	return core.NewStreamEngine(cfg, target)
 }
 
+// GetSampled returns a SHARDS-sampled engine for one probing period. A
+// retained engine is reused only when both its compute and sampling
+// configurations match exactly — the sampling rate sizes the scaled
+// stack, so a rate mismatch cannot be Reset away.
+func (p *EnginePool) GetSampled(cfg core.Config, scfg sample.Config, target int) (Engine, error) {
+	if e := p.takeSampled(cfg, scfg); e != nil {
+		if err := e.Reset(target); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return sample.NewEngine(cfg, scfg, target)
+}
+
 // Put returns an engine obtained from Get (or built elsewhere) to the
 // pool. Engines beyond the pool's capacity, and nil or foreign Engine
 // implementations, are discarded.
@@ -116,6 +133,11 @@ func (p *EnginePool) Put(e Engine) {
 	case *parstack.Feeder:
 		if len(p.parallel) < p.capacity {
 			p.parallel = append(p.parallel, e)
+			return
+		}
+	case *sample.Engine:
+		if len(p.sampled) < p.capacity {
+			p.sampled = append(p.sampled, e)
 			return
 		}
 	default:
@@ -158,6 +180,24 @@ func (p *EnginePool) takeParallel(cfg core.Config) *parstack.Feeder {
 	return nil
 }
 
+// takeSampled pops a retained sampled engine matching both
+// configurations.
+func (p *EnginePool) takeSampled(cfg core.Config, scfg sample.Config) *sample.Engine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := len(p.sampled) - 1; i >= 0; i-- {
+		if p.sampled[i].Config() == cfg && p.sampled[i].SampleConfig() == scfg {
+			e := p.sampled[i]
+			p.sampled[i] = p.sampled[len(p.sampled)-1]
+			p.sampled = p.sampled[:len(p.sampled)-1]
+			p.hits++
+			return e
+		}
+	}
+	p.misses++
+	return nil
+}
+
 // Stats returns a snapshot of the pool's counters.
 func (p *EnginePool) Stats() PoolStats {
 	p.mu.Lock()
@@ -165,6 +205,7 @@ func (p *EnginePool) Stats() PoolStats {
 	return PoolStats{
 		IdleSerial:   len(p.serial),
 		IdleParallel: len(p.parallel),
+		IdleSampled:  len(p.sampled),
 		Hits:         p.hits,
 		Misses:       p.misses,
 		Drops:        p.drops,

@@ -1,0 +1,241 @@
+package service
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"rapidmrc/internal/core"
+	"rapidmrc/internal/sample"
+)
+
+// TestSampledTenantRateOneBitIdentical pins the sampled tenant path at
+// rate 1.0 against the classic unsampled tenant: same trace, same
+// batching, byte-identical Result — and a zero-width band riding along.
+func TestSampledTenantRateOneBitIdentical(t *testing.T) {
+	trace := synthTrace(7, 5000)
+	raw := rawTrace(trace)
+	const instr = 555_555
+
+	svc := New(Config{})
+	plain, err := svc.Register("plain", TenantConfig{Target: len(trace)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := svc.Register("sampled", TenantConfig{
+		Target:   len(trace),
+		Sampling: sample.Config{Rate: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range []*Tenant{plain, sampled} {
+		if err := tn.Feed(raw, instr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := plain.Snapshot(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sampled.Snapshot(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Result, got.Result) {
+		t.Fatalf("rate-1.0 tenant diverges from unsampled tenant")
+	}
+	if got.SamplingRate != 1.0 {
+		t.Errorf("epoch sampling rate %v, want 1.0", got.SamplingRate)
+	}
+	if len(got.BandLow) == 0 || len(got.BandHigh) == 0 {
+		t.Fatal("sampled epoch carries no band")
+	}
+	for i := range got.BandLow {
+		if got.BandLow[i] != got.Result.MRC.MPKI[i] || got.BandHigh[i] != got.Result.MRC.MPKI[i] {
+			t.Fatalf("rate-1.0 band not collapsed onto the curve at point %d", i)
+		}
+	}
+	if want.SamplingRate != 0 || want.BandLow != nil {
+		t.Errorf("unsampled epoch reports sampling fields: %+v", want)
+	}
+	st := sampled.Stats()
+	if st.SamplingRate != 1.0 {
+		t.Errorf("stats sampling rate %v, want 1.0", st.SamplingRate)
+	}
+}
+
+// TestSampledTenantBands checks a genuinely down-sampled tenant: far
+// fewer stack references, a non-degenerate ordered band, and the stats
+// surface the rate and band width for /metrics.
+func TestSampledTenantBands(t *testing.T) {
+	trace := synthTrace(11, 60_000)
+	raw := rawTrace(trace)
+
+	svc := New(Config{})
+	tn, err := svc.Register("app", TenantConfig{
+		Target:       len(trace),
+		EpochEntries: 20_000,
+		Sampling:     sample.Config{Rate: 0.1, Level: 0.99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Feed(raw, 9_999_999); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := tn.Snapshot(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine reports the threshold-quantized effective rate
+	// (round(0.1 * Buckets) / Buckets), not the requested value verbatim.
+	if math.Abs(ep.SamplingRate-0.1) > 1e-6 {
+		t.Errorf("sampling rate %v, want ~0.1", ep.SamplingRate)
+	}
+	if ep.BandLevel != 0.99 {
+		t.Errorf("band level %v, want 0.99", ep.BandLevel)
+	}
+	if ep.EffSamples <= 0 {
+		t.Errorf("effective samples %v", ep.EffSamples)
+	}
+	width := 0.0
+	for i := range ep.BandLow {
+		if ep.BandLow[i] > ep.Result.MRC.MPKI[i] || ep.BandHigh[i] < ep.Result.MRC.MPKI[i] {
+			t.Fatalf("band excludes the curve at point %d", i)
+		}
+		width += ep.BandHigh[i] - ep.BandLow[i]
+	}
+	if width <= 0 {
+		t.Fatal("degenerate band at rate 0.1")
+	}
+	st := tn.Stats()
+	if math.Abs(st.SamplingRate-0.1) > 1e-6 {
+		t.Errorf("stats sampling rate %v", st.SamplingRate)
+	}
+	if st.BandWidthMPKI <= 0 {
+		t.Errorf("stats band width %v", st.BandWidthMPKI)
+	}
+}
+
+// TestRegisterSamplingValidation pins the typed rejection of bad rates
+// and the serial-engine requirement, plus the service-default
+// inheritance and the negative-disables override.
+func TestRegisterSamplingValidation(t *testing.T) {
+	svc := New(Config{})
+	for i, rate := range []float64{-0.0000001 - 1, 1.5, 2, math.NaN(), math.Inf(1)} {
+		_, err := svc.Register("bad", TenantConfig{Sampling: sample.Config{Rate: rate}})
+		var re *sample.RateError
+		if rate < 0 {
+			// Negative is the explicit "force full rate" override, not an
+			// error.
+			if err != nil {
+				t.Errorf("case %d: negative rate rejected: %v", i, err)
+			}
+			svc.Evict("bad")
+			continue
+		}
+		if !errors.As(err, &re) {
+			t.Errorf("case %d: rate %v: got %v, want *sample.RateError", i, rate, err)
+		}
+	}
+	if _, err := svc.Register("p", TenantConfig{
+		Workers:  2,
+		Sampling: sample.Config{Rate: 0.5},
+	}); err == nil {
+		t.Error("sampling over the parallel engine accepted")
+	}
+
+	// Service-wide default: tenants inherit the daemon rate unless they
+	// override it (negative = full rate).
+	svc = New(Config{SamplingRate: 0.25})
+	inh, err := svc.Register("inherit", TenantConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inh.Config().Sampling.Rate != 0.25 {
+		t.Errorf("inherited rate %v, want 0.25", inh.Config().Sampling.Rate)
+	}
+	full, err := svc.Register("full", TenantConfig{Sampling: sample.Config{Rate: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Config().Sampling != (sample.Config{}) {
+		t.Errorf("negative rate did not disable sampling: %+v", full.Config().Sampling)
+	}
+	// A bad service-wide default surfaces at Register time.
+	svc = New(Config{SamplingRate: 3})
+	if _, err := svc.Register("x", TenantConfig{}); err == nil {
+		t.Error("bad service default rate accepted")
+	}
+}
+
+// TestPoolRecyclesSampledEngines pins the sampled engine's pooled
+// lifecycle: an evicted tenant's engine is retained and re-served to a
+// matching registration, and the recycled engine's curves stay
+// bit-identical to a fresh one's.
+func TestPoolRecyclesSampledEngines(t *testing.T) {
+	trace := synthTrace(3, 4000)
+	raw := rawTrace(trace)
+	scfg := sample.Config{Rate: 0.5, SMax: 900}
+
+	svc := New(Config{})
+	a, err := svc.Register("a", TenantConfig{Target: len(trace), Sampling: scfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Feed(raw, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Evict("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Pool().Stats().IdleSampled; got != 1 {
+		t.Fatalf("idle sampled engines = %d, want 1", got)
+	}
+	b, err := svc.Register("b", TenantConfig{Target: len(trace), Sampling: scfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Pool().Stats(); st.IdleSampled != 0 || st.Hits == 0 {
+		t.Fatalf("recycled engine not reused: %+v", st)
+	}
+	if err := b.Feed(raw, 424_242); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Snapshot(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := sample.NewEngine(core.DefaultConfig(), scfg, len(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corr core.StreamCorrector
+	for _, l := range trace {
+		fresh.Feed(corr.Feed(l))
+	}
+	want, err := fresh.Snapshot(424_242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got.Result) {
+		t.Fatal("recycled sampled engine diverges from fresh")
+	}
+	// A different sampling config must not match the retained engine.
+	svc.Evict("b")
+	other := scfg
+	other.Rate = 0.25
+	c, err := svc.Register("c", TenantConfig{Target: len(trace), Sampling: other})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config().Sampling != other {
+		t.Fatalf("config not preserved: %+v", c.Config().Sampling)
+	}
+	if st := svc.Pool().Stats(); st.IdleSampled != 1 {
+		t.Fatalf("mismatched engine was consumed: %+v", st)
+	}
+}

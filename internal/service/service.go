@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"rapidmrc/internal/core"
+	"rapidmrc/internal/sample"
 )
 
 // Config parameterizes a Service.
@@ -31,6 +32,11 @@ type Config struct {
 	// TenantConfig.Approx). Zero keeps the analytical tier off by
 	// default, preserving the classic always-simulate behavior.
 	ApproxThreshold float64
+	// SamplingRate is the default SHARDS sampling rate for tenants whose
+	// Sampling config leaves the rate zero (see TenantConfig.Sampling).
+	// Zero keeps sampling off by default; rates outside (0, 1] are
+	// rejected at Register time.
+	SamplingRate float64
 }
 
 // Service defaults.
@@ -81,10 +87,11 @@ func (s *Service) Pool() *EnginePool { return s.pool }
 
 // Register creates a tenant under id and starts its worker. The tenant
 // configuration is defaulted: zero Target becomes DefaultTarget, zero
-// MaxQueued, EpochEntries, and Approx.Threshold inherit the service
-// defaults, and a zero Engine config becomes core.DefaultConfig(). It
-// fails with
-// ErrTenantExists if id is taken, ErrDraining during shutdown, or the
+// MaxQueued, EpochEntries, Approx.Threshold, and Sampling.Rate inherit
+// the service defaults, and a zero Engine config becomes
+// core.DefaultConfig(). It fails with
+// ErrTenantExists if id is taken, ErrDraining during shutdown, a
+// *sample.RateError for a sampling rate outside (0, 1], or the
 // engine constructor's error for an invalid configuration.
 func (s *Service) Register(id string, cfg TenantConfig) (*Tenant, error) {
 	if id == "" {
@@ -108,7 +115,29 @@ func (s *Service) Register(id string, cfg TenantConfig) (*Tenant, error) {
 	if cfg.Engine == (core.Config{}) {
 		cfg.Engine = core.DefaultConfig()
 	}
-	eng, err := s.pool.Get(cfg.Engine, cfg.Target, cfg.Workers)
+	if cfg.Sampling.Rate < 0 {
+		// Negative forces full-rate profiling even when the service
+		// default samples (mirroring Approx.Threshold's negative-disables
+		// convention).
+		cfg.Sampling = sample.Config{}
+	} else if cfg.Sampling.Rate == 0 {
+		cfg.Sampling.Rate = s.cfg.SamplingRate
+	}
+	if cfg.Sampling != (sample.Config{}) {
+		if err := cfg.Sampling.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Workers > 0 {
+			return nil, errors.New("service: sampling requires the serial engine (workers must be 0)")
+		}
+	}
+	var eng Engine
+	var err error
+	if cfg.Sampling != (sample.Config{}) {
+		eng, err = s.pool.GetSampled(cfg.Engine, cfg.Sampling, cfg.Target)
+	} else {
+		eng, err = s.pool.Get(cfg.Engine, cfg.Target, cfg.Workers)
+	}
 	if err != nil {
 		return nil, err
 	}

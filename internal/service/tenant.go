@@ -10,6 +10,7 @@ import (
 	"rapidmrc/internal/core"
 	"rapidmrc/internal/mem"
 	"rapidmrc/internal/phase"
+	"rapidmrc/internal/sample"
 )
 
 // TenantConfig parameterizes one registered workload.
@@ -41,6 +42,13 @@ type TenantConfig struct {
 	// (Config.ApproxThreshold); a negative Threshold disables the tier for
 	// this tenant, making every Serve a full simulation.
 	Approx approx.PolicyConfig
+	// Sampling configures SHARDS spatial sampling (see internal/sample):
+	// a Rate in (0, 1] profiles this tenant through the hash-threshold
+	// sampled engine, whose epochs carry confidence bands. A zero Rate
+	// inherits the service-wide default (Config.SamplingRate); a negative
+	// Rate forces full-rate profiling even when the service default
+	// samples. Sampling requires the serial engine (Workers must be 0).
+	Sampling sample.Config
 }
 
 // DefaultTarget is the paper's probing-period length (§5.2.3).
@@ -68,6 +76,16 @@ type Epoch struct {
 	// when the analytical tier is off or still warming).
 	Uncertainty  float64
 	Disagreement float64
+	// SamplingRate is the effective SHARDS sampling rate behind this
+	// epoch (0 when the tenant profiles unsampled); BandLow/BandHigh the
+	// per-point confidence band at BandLevel, and EffSamples the Kish
+	// effective sample size behind it. Bands collapse onto the curve at
+	// rate 1.0.
+	SamplingRate float64
+	BandLow      []float64
+	BandHigh     []float64
+	BandLevel    float64
+	EffSamples   float64
 }
 
 // TenantStats is one tenant's counter snapshot, for /metrics and
@@ -112,6 +130,12 @@ type TenantStats struct {
 	SimServed        int
 	Escalations      int
 	PhaseTransitions int
+	// SamplingRate is the SHARDS sampling rate currently in force (0
+	// when the tenant profiles unsampled; below the configured rate after
+	// s_max adaptation). BandWidthMPKI is the mean confidence-band width
+	// of the latest epoch (0 unsampled or at rate 1.0).
+	SamplingRate  float64
+	BandWidthMPKI float64
 }
 
 // batch is one accepted ingest unit.
@@ -382,12 +406,21 @@ func (t *Tenant) snapshotLocked() (*Epoch, error) {
 	if t.corr != nil {
 		converted = t.corr.Converted()
 	}
-	return &Epoch{
+	ep := &Epoch{
 		Entries:      t.eng.Consumed(),
 		Instructions: t.instr.Load(),
 		Result:       res,
 		Converted:    converted,
-	}, nil
+	}
+	if se, ok := t.eng.(*sample.Engine); ok {
+		b := se.Bands()
+		ep.SamplingRate = b.Rate
+		ep.BandLow = b.Low
+		ep.BandHigh = b.High
+		ep.BandLevel = b.Level
+		ep.EffSamples = b.EffSamples
+	}
+	return ep, nil
 }
 
 // Snapshot computes a fresh epoch from everything fed so far. With wait
@@ -554,6 +587,18 @@ func (t *Tenant) Stats() TenantStats {
 	if t.det != nil {
 		transitions = t.det.Transitions()
 	}
+	samplingRate, bandWidth := 0.0, 0.0
+	if se, ok := t.eng.(*sample.Engine); ok {
+		samplingRate = se.Rate()
+	} else if t.eng == nil && t.cfg.Sampling.Rate > 0 {
+		samplingRate = t.cfg.Sampling.Rate // finalized: report the config
+	}
+	if t.last != nil && len(t.last.BandLow) > 0 {
+		for i := range t.last.BandLow {
+			bandWidth += t.last.BandHigh[i] - t.last.BandLow[i]
+		}
+		bandWidth /= float64(len(t.last.BandLow))
+	}
 	t.mu.Unlock()
 	return TenantStats{
 		ID:               t.id,
@@ -577,6 +622,8 @@ func (t *Tenant) Stats() TenantStats {
 		SimServed:        pstats.Simulated,
 		Escalations:      pstats.Escalations,
 		PhaseTransitions: transitions,
+		SamplingRate:     samplingRate,
+		BandWidthMPKI:    bandWidth,
 	}
 }
 

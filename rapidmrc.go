@@ -40,6 +40,7 @@ import (
 	"rapidmrc/internal/approx"
 	"rapidmrc/internal/core"
 	"rapidmrc/internal/mem"
+	"rapidmrc/internal/sample"
 	"rapidmrc/internal/service"
 )
 
@@ -157,6 +158,45 @@ type Stats struct {
 	Dropped       int
 	Stale         int
 	CaptureCycles uint64
+	// SamplingRate, BandLow/BandHigh, BandLevel, and EffSamples describe
+	// the spatial-sampling tier when the curve came from a sampled engine
+	// (WithSamplingRate): the effective sampling rate, the per-point
+	// confidence band around the curve at BandLevel, and the effective
+	// (Kish) sample count behind it. Zero/nil for unsampled computations.
+	// Workflows that transpose shift the band together with the curve.
+	SamplingRate      float64
+	BandLow, BandHigh []float64
+	BandLevel         float64
+	EffSamples        float64
+}
+
+// fillBands copies a sampled engine's confidence band into the stats
+// when eng is one; a no-op for the exact engines.
+func (st *Stats) fillBands(eng service.Engine) {
+	se, ok := eng.(*sample.Engine)
+	if !ok {
+		return
+	}
+	b := se.Bands()
+	st.SamplingRate = b.Rate
+	st.BandLow = append([]float64(nil), b.Low...)
+	st.BandHigh = append([]float64(nil), b.High...)
+	st.BandLevel = b.Level
+	st.EffSamples = b.EffSamples
+}
+
+// shiftBands applies a transposition's v-offset to the confidence band
+// so it keeps bracketing the shifted curve, clamping at zero like
+// Transpose does.
+func (st *Stats) shiftBands(shift float64) {
+	for _, band := range [][]float64{st.BandLow, st.BandHigh} {
+		for i := range band {
+			band[i] += shift
+			if band[i] < 0 {
+				band[i] = 0
+			}
+		}
+	}
 }
 
 // Engine computes curves from traces. The zero value is not usable; use
@@ -265,6 +305,21 @@ func (e *Engine) NewParallelStream(targetEntries, workers int) (*Stream, error) 
 	return s, nil
 }
 
+// newSampledStream is NewStream backed by the SHARDS-sampled engine at
+// the given rate (the System workflows route WithSamplingRate here).
+// Snapshots carry the confidence band in their Stats.
+func (e *Engine) newSampledStream(targetEntries int, rate float64) (*Stream, error) {
+	se, err := enginePool.GetSampled(e.cfg, sample.Config{Rate: rate}, targetEntries)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{eng: se}
+	if e.correct {
+		s.corr = new(core.StreamCorrector)
+	}
+	return s, nil
+}
+
 // Feed consumes one raw logged cache-line address. It fails with
 // ErrStreamClosed once the stream has been closed.
 func (s *Stream) Feed(line uint64) error {
@@ -325,13 +380,15 @@ func (s *Stream) Snapshot(instructions uint64) (*Curve, *Stats, error) {
 	if s.corr != nil {
 		converted = s.corr.Converted()
 	}
-	return &Curve{MPKI: res.MRC.MPKI}, &Stats{
+	st := &Stats{
 		Converted:     converted,
 		WarmupEntries: res.WarmupEntries,
 		AutoWarmup:    res.AutoWarmup,
 		StackHitRate:  res.StackHitRate,
 		ComputeCycles: res.ModelCycles,
-	}, nil
+	}
+	st.fillBands(s.eng)
+	return &Curve{MPKI: res.MRC.MPKI}, st, nil
 }
 
 // Compute corrects the trace and runs the stack algorithm, returning the
@@ -437,6 +494,24 @@ func (e *Engine) ComputeParallel(t *Trace, workers int) (*Curve, *Stats, error) 
 // pinned by the stream-vs-batch property tests — and the engine is
 // recycled afterwards.
 func (e *Engine) compute(t *Trace, workers int) (*Curve, *Stats, error) {
+	return e.computeWith(t, func(n int) (service.Engine, error) {
+		return enginePool.Get(e.cfg, n, workers)
+	})
+}
+
+// computeSampled is compute over the SHARDS-sampled serial engine at
+// the given rate; the returned Stats carry the confidence band.
+func (e *Engine) computeSampled(t *Trace, rate float64) (*Curve, *Stats, error) {
+	return e.computeWith(t, func(n int) (service.Engine, error) {
+		return enginePool.GetSampled(e.cfg, sample.Config{Rate: rate}, n)
+	})
+}
+
+// computeWith corrects the trace, feeds it through an engine drawn via
+// get with the trace length as its target — which reproduces the batch
+// computation bit-identically, pinned by the stream-vs-batch property
+// tests — and recycles the engine afterwards.
+func (e *Engine) computeWith(t *Trace, get func(target int) (service.Engine, error)) (*Curve, *Stats, error) {
 	if t == nil || len(t.Lines) == 0 {
 		return nil, nil, fmt.Errorf("rapidmrc: empty trace")
 	}
@@ -448,7 +523,7 @@ func (e *Engine) compute(t *Trace, workers int) (*Curve, *Stats, error) {
 	if e.correct {
 		converted = core.CorrectPrefetchRepetitions(lines)
 	}
-	eng, err := enginePool.Get(e.cfg, len(lines), workers)
+	eng, err := get(len(lines))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -456,15 +531,18 @@ func (e *Engine) compute(t *Trace, workers int) (*Curve, *Stats, error) {
 		eng.Feed(l)
 	}
 	res, err := eng.Snapshot(t.Instructions)
-	enginePool.Put(eng)
 	if err != nil {
+		enginePool.Put(eng)
 		return nil, nil, err
 	}
-	return &Curve{MPKI: res.MRC.MPKI}, &Stats{
+	st := &Stats{
 		Converted:     converted,
 		WarmupEntries: res.WarmupEntries,
 		AutoWarmup:    res.AutoWarmup,
 		StackHitRate:  res.StackHitRate,
 		ComputeCycles: res.ModelCycles,
-	}, nil
+	}
+	st.fillBands(eng)
+	enginePool.Put(eng)
+	return &Curve{MPKI: res.MRC.MPKI}, st, nil
 }

@@ -8,6 +8,7 @@ import (
 	"rapidmrc/internal/mem"
 	"rapidmrc/internal/platform"
 	"rapidmrc/internal/pmu"
+	"rapidmrc/internal/sample"
 	"rapidmrc/internal/workload"
 )
 
@@ -30,6 +31,7 @@ type sysOptions struct {
 	traceBuffer  int
 	workers      int
 	traceWorkers int
+	samplingRate float64
 	// err records the first invalid option; constructors surface it
 	// instead of building a system (validate-at-apply-time).
 	err error
@@ -112,6 +114,28 @@ func WithTraceParallelism(n int) SystemOption {
 			return
 		}
 		o.traceWorkers = n
+	}
+}
+
+// WithSamplingRate filters the probing period through a SHARDS-style
+// spatial sampler before the Mattson stack: only references whose
+// hashed line address falls under the rate's threshold reach the
+// engine, histogram counts are scaled back by 1/rate, and the curve
+// carries a confidence band (Stats.BandLow/BandHigh). Compute cost
+// drops roughly in proportion to the rate for a small, quantified
+// accuracy cost; rate 1 is bit-identical to the unsampled engine. The
+// rate must lie in (0, 1] — anything else, including NaN, is rejected
+// at apply time and the error surfaces from the constructor the
+// options are passed to, like WithParallelism. Sampling runs on the
+// serial incremental engine; combining it with WithTraceParallelism is
+// rejected.
+func WithSamplingRate(rate float64) SystemOption {
+	return func(o *sysOptions) {
+		if err := (sample.Config{Rate: rate}).Validate(); err != nil {
+			o.fail(err)
+			return
+		}
+		o.samplingRate = rate
 	}
 }
 
@@ -213,9 +237,14 @@ func (s *System) Stream(epochEntries int, onEpoch func(StreamEpoch)) (*Curve, *S
 	eng := NewEngine()
 	var st *Stream
 	var err error
-	if s.opt.traceWorkers != 0 {
+	switch {
+	case s.opt.samplingRate != 0 && s.opt.traceWorkers != 0:
+		return nil, nil, fmt.Errorf("rapidmrc: WithSamplingRate runs on the serial engine and cannot combine with WithTraceParallelism")
+	case s.opt.samplingRate != 0:
+		st, err = eng.newSampledStream(s.opt.entries, s.opt.samplingRate)
+	case s.opt.traceWorkers != 0:
 		st, err = eng.NewParallelStream(s.opt.entries, s.opt.traceWorkers)
-	} else {
+	default:
 		st, err = eng.NewStream(s.opt.entries)
 	}
 	if err != nil {
@@ -250,6 +279,7 @@ func (s *System) Stream(epochEntries int, onEpoch func(StreamEpoch)) (*Curve, *S
 		ref = s.opt.colors.Count()
 	}
 	cstats.Shift = curve.Transpose(ref, measured)
+	cstats.shiftBands(cstats.Shift)
 	return curve, cstats, nil
 }
 
@@ -305,9 +335,14 @@ func Online(app string, opts ...SystemOption) (*Curve, *Stats, *Trace, error) {
 	eng := NewEngine()
 	var curve *Curve
 	var stats *Stats
-	if sys.opt.traceWorkers != 0 {
+	switch {
+	case sys.opt.samplingRate != 0 && sys.opt.traceWorkers != 0:
+		return nil, nil, nil, fmt.Errorf("rapidmrc: WithSamplingRate runs on the serial engine and cannot combine with WithTraceParallelism")
+	case sys.opt.samplingRate != 0:
+		curve, stats, err = eng.computeSampled(trace, sys.opt.samplingRate)
+	case sys.opt.traceWorkers != 0:
 		curve, stats, err = eng.ComputeParallel(trace, sys.opt.traceWorkers)
-	} else {
+	default:
 		curve, stats, err = eng.Compute(trace)
 	}
 	if err != nil {
@@ -321,6 +356,7 @@ func Online(app string, opts ...SystemOption) (*Curve, *Stats, *Trace, error) {
 		ref = sys.opt.colors.Count()
 	}
 	stats.Shift = curve.Transpose(ref, measured)
+	stats.shiftBands(stats.Shift)
 	return curve, stats, trace, nil
 }
 
