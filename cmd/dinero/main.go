@@ -45,6 +45,7 @@ func main() {
 		os.Exit(1)
 	}
 	tr, err := tracefile.Read(f)
+	//lint:allow errdrop read-only trace file; a close failure cannot lose data
 	f.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dinero:", err)

@@ -215,6 +215,7 @@ func streamFromFile(path string, epoch, parTrace int) (*rapidmrc.Curve, *rapidmr
 	if err != nil {
 		return nil, nil, err
 	}
+	//lint:allow errdrop read-only trace file; a close failure cannot lose data
 	defer f.Close()
 	r, err := tracefile.NewReader(f)
 	if err != nil {
@@ -229,6 +230,7 @@ func streamFromFile(path string, epoch, parTrace int) (*rapidmrc.Curve, *rapidmr
 	if err != nil {
 		return nil, nil, err
 	}
+	//lint:allow errdrop Close only recycles the engine into the pool and never fails
 	defer st.Close()
 	for {
 		l, err := r.Next()
@@ -238,7 +240,9 @@ func streamFromFile(path string, epoch, parTrace int) (*rapidmrc.Curve, *rapidmr
 		if err != nil {
 			return nil, nil, err
 		}
-		st.Feed(uint64(l))
+		if err := st.Feed(uint64(l)); err != nil {
+			return nil, nil, err
+		}
 		if epoch > 0 && st.Entries()%epoch == 0 && !st.Warming() {
 			// Prorate the archived progress to the entries fed so far.
 			instr := r.Instructions() * uint64(st.Entries()) / uint64(r.Len())
@@ -255,13 +259,19 @@ func streamFromFile(path string, epoch, parTrace int) (*rapidmrc.Curve, *rapidmr
 	return curve, stats, nil
 }
 
-// saveTrace serializes the raw captured trace.
-func saveTrace(path string, t *rapidmrc.Trace) error {
+// saveTrace serializes the raw captured trace. The file's Close error
+// is part of the result: on many filesystems a write failure only
+// surfaces at close, and a truncated trace replays as a wrong curve.
+func saveTrace(path string, t *rapidmrc.Trace) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	lines := make([]mem.Line, len(t.Lines))
 	for i, l := range t.Lines {
 		lines[i] = mem.Line(l)
@@ -279,6 +289,7 @@ func loadTrace(path string) (*rapidmrc.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow errdrop read-only trace file; a close failure cannot lose data
 	defer f.Close()
 	t, err := tracefile.Read(f)
 	if err != nil {

@@ -1,18 +1,26 @@
 // Command rapidlint runs rapidmrc's custom static-analysis passes over
 // the repository — the multichecker for the invariants the simulator
-// relies on (see internal/lint and DESIGN.md "Static invariants"):
+// and its multi-tenant daemon rely on (see internal/lint and DESIGN.md
+// "Static invariants"):
 //
 //	hotpathalloc    //rapidmrc:hotpath functions stay allocation-free
 //	determinism     simulator packages never read clock/env/global rand
 //	maporder        output packages never emit in map-hash order
 //	importboundary  internal layering + no fmt/os/log in the kernel
+//	lockguard       //rapidmrc:guardedby fields only touched under their mutex
+//	atomicfield     sync/atomic fields never read or written plainly
+//	goroutinelife   every service-layer go statement signals its exit
+//	chanbound       service-layer channels carry explicit constant bounds
+//	errdrop         no discarded error returns in the service stack
 //
 // Usage:
 //
-//	rapidlint [-list] [packages...]
+//	rapidlint [-list] [-audit] [packages...]
 //
-// With no package patterns it checks ./... . Exit status: 0 clean,
-// 1 findings, 2 usage or load failure.
+// With no package patterns it checks ./... . -audit lists every
+// explained suppression (//lint:allow and //rapidmrc:unbounded) in the
+// matched packages instead of running the analyzers. Exit status: 0
+// clean, 1 findings, 2 usage or load failure.
 package main
 
 import (
@@ -25,14 +33,14 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	audit := flag.Bool("audit", false, "list every suppression with its analyzer and reason")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rapidlint [-list] [packages...]\n\nAnalyzers:\n")
-		printAnalyzers(os.Stderr)
+		fmt.Fprintf(os.Stderr, "usage: rapidlint [-list] [-audit] [packages...]\n\nAnalyzers:\n%s", analyzerTable())
 	}
 	flag.Parse()
 
 	if *list {
-		printAnalyzers(os.Stdout)
+		fmt.Print(analyzerTable())
 		return
 	}
 
@@ -50,6 +58,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rapidlint:", err)
 		os.Exit(2)
 	}
+
+	if *audit {
+		sups := lint.Audit(pkgs)
+		for _, s := range sups {
+			reason := s.Reason
+			if reason == "" {
+				reason = "(no reason — rapidlint reports this as a finding)"
+			}
+			fmt.Printf("%s: %s: %s [%s]\n", s.Pos, s.Analyzer, reason, s.Marker)
+		}
+		fmt.Fprintf(os.Stderr, "rapidlint: %d suppression(s) in %d package(s)\n", len(sups), len(pkgs))
+		return
+	}
+
 	diags, err := lint.RunAnalyzers(pkgs, lint.All())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rapidlint:", err)
@@ -64,8 +86,10 @@ func main() {
 	}
 }
 
-func printAnalyzers(w *os.File) {
+func analyzerTable() string {
+	var b string
 	for _, a := range lint.All() {
-		fmt.Fprintf(w, "  %-15s %s\n", a.Name, a.Doc)
+		b += fmt.Sprintf("  %-15s %s\n", a.Name, a.Doc)
 	}
+	return b
 }

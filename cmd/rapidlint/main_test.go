@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runLint builds the real binary and runs it from the module root,
+// returning its combined output and exit code — the exact contract CI
+// scripts rely on. (`go run` reports every child failure as exit 1, so
+// the 1-vs-2 distinction needs a direct exec.)
+func runLint(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	root, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("resolving module root: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "rapidlint")
+	build := exec.Command("go", "build", "-o", bin, "rapidmrc/cmd/rapidlint")
+	build.Dir = strings.TrimSpace(string(root))
+	if msg, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building rapidlint: %v\n%s", err, msg)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = strings.TrimSpace(string(root))
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err = cmd.Run()
+	if err == nil {
+		return out.String(), 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("running rapidlint: %v\n%s", err, out.String())
+	}
+	return out.String(), ee.ExitCode()
+}
+
+// TestExitCodeOnFindings drives the binary over the seeded-violation
+// fixture (reachable only by explicit path; wildcards skip testdata) and
+// asserts the findings exit status.
+func TestExitCodeOnFindings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run smoke test in -short mode")
+	}
+	out, code := runLint(t, "./internal/lint/testdata/exitcode")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "hotpathalloc") {
+		t.Fatalf("expected a hotpathalloc finding in output:\n%s", out)
+	}
+}
+
+// TestExitCodeOnLoadError asserts the usage/load-failure exit status on
+// an unresolvable package pattern.
+func TestExitCodeOnLoadError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run smoke test in -short mode")
+	}
+	out, code := runLint(t, "./internal/lint/testdata/no-such-package")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\n%s", code, out)
+	}
+}
+
+// TestAuditListsSuppressions asserts -audit surfaces the service layer's
+// explained suppressions: the //lint:allow comments and the
+// //rapidmrc:unbounded channel annotation, each with its reason.
+func TestAuditListsSuppressions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run smoke test in -short mode")
+	}
+	out, code := runLint(t, "-audit", "./internal/service")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out)
+	}
+	for _, want := range []string{"[lint:allow]", "[rapidmrc:unbounded]", "errdrop", "chanbound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-audit output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -46,3 +46,54 @@ func TestDeterminismIgnoresOtherPackages(t *testing.T) {
 		t.Fatalf("determinism fired outside its package set: %v", diags)
 	}
 }
+
+// The concurrency analyzers: lockguard and atomicfield are marker- and
+// type-driven (any package), the service-safety trio is path-scoped and
+// impersonates rapidmrc/internal/service.
+
+func TestLockGuard(t *testing.T) {
+	linttest.Run(t, lint.LockGuard, "testdata/lockguard", "rapidmrc/internal/lint/testdata/lockguard")
+}
+
+func TestAtomicField(t *testing.T) {
+	linttest.Run(t, lint.AtomicField, "testdata/atomicfield", "rapidmrc/internal/lint/testdata/atomicfield")
+}
+
+func TestGoroutineLife(t *testing.T) {
+	linttest.Run(t, lint.GoroutineLife, "testdata/goroutinelife", "rapidmrc/internal/service")
+}
+
+func TestChanBound(t *testing.T) {
+	linttest.Run(t, lint.ChanBound, "testdata/chanbound", "rapidmrc/internal/service")
+}
+
+func TestErrDrop(t *testing.T) {
+	linttest.Run(t, lint.ErrDrop, "testdata/errdrop", "rapidmrc/internal/service")
+}
+
+// TestServiceAnalyzersIgnoreOtherPackages proves the service-safety
+// trio's path scoping: the same fixtures under an unscoped import path
+// yield nothing — including chanbound's bare-marker diagnostic.
+func TestServiceAnalyzersIgnoreOtherPackages(t *testing.T) {
+	cases := []struct {
+		a   *lint.Analyzer
+		dir string
+	}{
+		{lint.GoroutineLife, "testdata/goroutinelife"},
+		{lint.ChanBound, "testdata/chanbound"},
+		{lint.ErrDrop, "testdata/errdrop"},
+	}
+	for _, c := range cases {
+		pkg, err := lint.CheckDir(c.dir, "rapidmrc/internal/report")
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{c.a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("%s fired outside its package set: %v", c.a.Name, diags)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomicity on struct fields: a
+// field that is managed through sync/atomic anywhere in the package may
+// never be read or written plainly. Two field styles are recognized:
+//
+//   - typed atomics (atomic.Int64 and friends): every use must be a
+//     method call on the field (x.f.Load(), x.f.Add(1), ...); copying
+//     the field's value, or assigning over it, mixes in a plain memory
+//     operation (and copies the noCopy guard).
+//   - legacy plain-typed fields passed by address to a sync/atomic
+//     function (atomic.AddInt64(&x.f, 1)): once one access site is
+//     atomic, every other access must also go through sync/atomic —
+//     a plain x.f++ elsewhere races with the atomic sites.
+//
+// The service admission budget (Service.budget) is the motivating case:
+// a single plain read would silently break the CAS loop's invariant.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "a struct field accessed via sync/atomic anywhere in the package " +
+		"must never be read or written plainly",
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	typed, legacy := collectAtomicFields(pass)
+	if len(typed) == 0 && len(legacy) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkAtomicUses(pass, f, typed, legacy)
+	}
+	return nil
+}
+
+// collectAtomicFields finds the package's atomic fields: struct fields
+// whose declared type comes from sync/atomic, and plain fields that some
+// sync/atomic call takes the address of.
+func collectAtomicFields(pass *Pass) (typed, legacy map[*types.Var]bool) {
+	typed = make(map[*types.Var]bool)
+	legacy = make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if !isAtomicPkgType(pass.Info.TypeOf(field.Type)) {
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+							typed[v] = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				fn := calledFunc(pass, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range n.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if v := fieldVar(pass, sel); v != nil {
+						legacy[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return typed, legacy
+}
+
+// isAtomicPkgType reports whether t is a named type declared in
+// sync/atomic (atomic.Int64, atomic.Uint64, atomic.Bool, ...).
+func isAtomicPkgType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// fieldVar resolves a selector to the struct field it denotes, or nil.
+func fieldVar(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	if v, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// checkAtomicUses walks one file with an explicit parent stack so each
+// atomic-field selector can be judged by the expression consuming it.
+func checkAtomicUses(pass *Pass, f *ast.File, typed, legacy map[*types.Var]bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v := fieldVar(pass, sel)
+		if v == nil {
+			return true
+		}
+		parent := parentOf(stack, sel)
+		switch {
+		case typed[v]:
+			if atomicTypedUseOK(parent, sel) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s is a sync/atomic value; access it only through its atomic methods (Load/Store/Add/CompareAndSwap)", v.Name())
+		case legacy[v]:
+			if atomicLegacyUseOK(pass, stack, parent, sel) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s is accessed via sync/atomic elsewhere in this package; plain reads and writes race with the atomic sites", v.Name())
+		}
+		return true
+	})
+}
+
+// parentOf returns the node directly above n on the stack.
+func parentOf(stack []ast.Node, n ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == n {
+			if i > 0 {
+				return stack[i-1]
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// atomicTypedUseOK accepts x.f.Method(...) — the selector is the X of a
+// further method selector — and &x.f (passing the atomic by pointer).
+func atomicTypedUseOK(parent ast.Node, sel *ast.SelectorExpr) bool {
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		return p.X == sel
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	}
+	return false
+}
+
+// atomicLegacyUseOK accepts &x.f passed directly to a sync/atomic call.
+func atomicLegacyUseOK(pass *Pass, stack []ast.Node, parent ast.Node, sel *ast.SelectorExpr) bool {
+	un, ok := parent.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return false
+	}
+	call, ok := parentOf(stack, un).(*ast.CallExpr)
+	if !ok {
+		// &x.f through a paren: tolerate one layer.
+		if par, isPar := parentOf(stack, un).(*ast.ParenExpr); isPar {
+			call, ok = parentOf(stack, par).(*ast.CallExpr)
+		}
+		if !ok {
+			return false
+		}
+	}
+	fn := calledFunc(pass, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Suppression is one explained escape hatch found in the tree: a
+// //lint:allow comment or a //rapidmrc:unbounded channel annotation.
+// `rapidlint -audit` prints them all, so the full set of places where
+// an invariant is deliberately waived stays reviewable in one listing.
+type Suppression struct {
+	Pos token.Position
+	// Analyzer is the suppressed analyzer's name; //rapidmrc:unbounded
+	// markers report as "chanbound".
+	Analyzer string
+	// Marker is the comment form used ("lint:allow" or
+	// "rapidmrc:unbounded").
+	Marker string
+	// Reason is the explanation the author wrote after the marker.
+	// Empty reasons are already diagnostics, so a clean tree never
+	// audits an unexplained suppression.
+	Reason string
+}
+
+// Audit scans the loaded packages' comments for every suppression
+// marker, explained or not, and returns them sorted by position.
+func Audit(pkgs []*Package) []Suppression {
+	var sups []Suppression
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					if rest, ok := strings.CutPrefix(c.Text, allowPrefix); ok {
+						fields := strings.Fields(rest)
+						s := Suppression{Pos: pos, Marker: "lint:allow"}
+						if len(fields) > 0 {
+							s.Analyzer = fields[0]
+							s.Reason = strings.Join(fields[1:], " ")
+						}
+						sups = append(sups, s)
+						continue
+					}
+					if rest, ok := strings.CutPrefix(c.Text, "//"+unboundedMarker); ok {
+						sups = append(sups, Suppression{
+							Pos:      pos,
+							Analyzer: ChanBound.Name,
+							Marker:   unboundedMarker,
+							Reason:   strings.TrimSpace(rest),
+						})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(sups, func(i, j int) bool {
+		a, b := sups[i], sups[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return sups
+}

@@ -1,0 +1,51 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rapidmrc/internal/lint"
+)
+
+// Audit collects every suppression marker — explained or not — with its
+// analyzer, marker form, and reason, sorted by position.
+func TestAuditCollectsSuppressions(t *testing.T) {
+	const src = `package fixture
+
+func a() {
+	//lint:allow errdrop close failure is unrecoverable here
+	//lint:allow determinism
+	//rapidmrc:unbounded close-only completion signal
+	_ = make(chan struct{})
+}
+`
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := lint.CheckDir(dir, "rapidmrc/internal/service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sups := lint.Audit([]*lint.Package{pkg})
+	if len(sups) != 3 {
+		t.Fatalf("want 3 suppressions, got %d: %v", len(sups), sups)
+	}
+	if sups[0].Analyzer != "errdrop" || sups[0].Marker != "lint:allow" ||
+		sups[0].Reason != "close failure is unrecoverable here" {
+		t.Errorf("first suppression = %+v", sups[0])
+	}
+	if sups[1].Analyzer != "determinism" || sups[1].Reason != "" {
+		t.Errorf("bare suppression = %+v", sups[1])
+	}
+	if sups[2].Analyzer != "chanbound" || sups[2].Marker != "rapidmrc:unbounded" ||
+		sups[2].Reason != "close-only completion signal" {
+		t.Errorf("unbounded suppression = %+v", sups[2])
+	}
+	for i := 1; i < len(sups); i++ {
+		if sups[i-1].Pos.Line > sups[i].Pos.Line {
+			t.Errorf("suppressions not sorted: %v before %v", sups[i-1].Pos, sups[i].Pos)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// unboundedMarker is chanbound's escape hatch: an explained annotation
+// on (or directly above) a make(chan ...) that is deliberately
+// unbuffered or variably sized:
+//
+//	//rapidmrc:unbounded close-only completion signal; nothing ever sends
+//	done: make(chan struct{}),
+//
+// The reason is mandatory and surfaced by `rapidlint -audit`, so every
+// unbounded channel in the service layer stays reviewable.
+const unboundedMarker = "rapidmrc:unbounded"
+
+// chanScoped reports whether chanbound applies: the bounded-admission
+// service layer. Bounded queues with typed shedding are the design
+// (DESIGN.md §9); an unbuffered channel reintroduces the producer
+// blocking the admission budget exists to prevent, and a
+// variable-capacity channel hides the bound from review.
+func chanScoped(path string) bool {
+	switch path {
+	case "rapidmrc/internal/service", "rapidmrc/internal/dynamic", "rapidmrc/cmd/mrcd":
+		return true
+	}
+	return false
+}
+
+// ChanBound bans unbuffered and non-constant-capacity make(chan ...) in
+// the service layer: every channel must carry an explicit constant
+// bound, or an explained //rapidmrc:unbounded annotation.
+var ChanBound = &Analyzer{
+	Name: "chanbound",
+	Doc: "make(chan ...) in the service layer must have an explicit " +
+		"constant capacity >= 1 (or an explained //rapidmrc:unbounded)",
+	Run: runChanBound,
+}
+
+func runChanBound(pass *Pass) error {
+	if !chanScoped(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		allowed, bad := unboundedAnnotations(pass, f)
+		for _, d := range bad {
+			pass.Reportf(d, "//%s needs a reason: //%s <why this channel may be unbuffered or variably sized>", unboundedMarker, unboundedMarker)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id := calleeIdent(call)
+			if id == nil || id.Name != "make" || len(call.Args) == 0 {
+				return true
+			}
+			if !isChanTypeExpr(pass, call.Args[0]) {
+				return true
+			}
+			line := pass.Fset.Position(call.Pos()).Line
+			file := pass.Fset.Position(call.Pos()).Filename
+			if allowed[suppressKey(file, line)] {
+				return true
+			}
+			if len(call.Args) == 1 {
+				pass.Reportf(call.Pos(), "unbuffered channel in the service layer: senders block, defeating bounded admission — give it a constant capacity or annotate //%s <reason>", unboundedMarker)
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Args[1]]
+			if !ok || tv.Value == nil {
+				pass.Reportf(call.Args[1].Pos(), "channel capacity is not a compile-time constant; the bound must be reviewable — use a named constant or annotate //%s <reason>", unboundedMarker)
+				return true
+			}
+			if v, exact := constant.Int64Val(tv.Value); exact && v < 1 {
+				pass.Reportf(call.Args[1].Pos(), "channel capacity %d makes the channel unbuffered; give it a constant capacity >= 1 or annotate //%s <reason>", v, unboundedMarker)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unboundedAnnotations maps "file:line" keys (the marker's own line and
+// the one below) to true for every explained //rapidmrc:unbounded in f;
+// markers without a reason are returned as positions to report.
+func unboundedAnnotations(pass *Pass, f *ast.File) (map[string]bool, []token.Pos) {
+	allowed := make(map[string]bool)
+	var bad []token.Pos
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//"+unboundedMarker)
+			if !ok {
+				continue
+			}
+			pos := pass.Fset.Position(c.Pos())
+			if strings.TrimSpace(rest) == "" {
+				bad = append(bad, c.Pos())
+				continue
+			}
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				allowed[suppressKey(pos.Filename, line)] = true
+			}
+		}
+	}
+	return allowed, bad
+}
+
+// isChanTypeExpr reports whether e denotes a channel type.
+func isChanTypeExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

@@ -12,6 +12,11 @@ import (
 // every golden-file experiment all assume a rerun reproduces the same
 // bits; a clock read or a draw from the global math/rand source breaks
 // that silently.
+// The approximation tier, the SHARDS sampler, the service core, and the
+// dynamic controller joined the catalog once the daemon grew: their
+// curves, sampling decisions, and probing schedules must replay
+// bit-identically too. Operational timestamps (epoch-latency metrics)
+// carry explained //lint:allow suppressions.
 var deterministicPkgs = map[string]bool{
 	"rapidmrc/internal/core":          true,
 	"rapidmrc/internal/core/parstack": true,
@@ -20,6 +25,10 @@ var deterministicPkgs = map[string]bool{
 	"rapidmrc/internal/pmu":           true,
 	"rapidmrc/internal/workload":      true,
 	"rapidmrc/internal/prefetch":      true,
+	"rapidmrc/internal/approx":        true,
+	"rapidmrc/internal/sample":        true,
+	"rapidmrc/internal/service":       true,
+	"rapidmrc/internal/dynamic":       true,
 }
 
 // Determinism flags reads of ambient state — wall clock, the global
@@ -30,7 +39,7 @@ var deterministicPkgs = map[string]bool{
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "forbid time.Now, global math/rand draws, and environment reads in " +
-		"internal/{core,cache,platform,pmu,workload,prefetch}",
+		"internal/{core,cache,platform,pmu,workload,prefetch,approx,sample,service,dynamic}",
 	Run: runDeterminism,
 }
 

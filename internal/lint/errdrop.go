@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errDropScoped reports whether errdrop applies: the service stack and
+// every command. The PR-5 runner.All bug (silently discarded ForEach
+// errors) was found by hand; this pass machine-checks the class. The
+// compute kernel is excluded — it returns errors rather than calling
+// error-returning APIs — and tests are never loaded by the linter.
+func errDropScoped(path string) bool {
+	switch path {
+	case "rapidmrc/internal/service", "rapidmrc/internal/dynamic":
+		return true
+	}
+	return strings.HasPrefix(path, "rapidmrc/cmd/")
+}
+
+// ErrDrop bans discarded error returns in the service stack and the
+// commands: a call whose error result is dropped on the floor — a bare
+// call statement, a deferred call, or an `_ =` assignment — hides
+// exactly the failures a long-running daemon must surface. Exempt are
+// the fmt print family writing to stdout/stderr (diagnostic output
+// whose failure has no recovery) — everything else must handle the
+// error or carry an explained //lint:allow errdrop.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "forbid discarded error returns (bare calls, deferred calls, " +
+		"`_ =`) in internal/{service,dynamic} and cmd/*",
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) error {
+	if !errDropScoped(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkDroppedCall(pass, n.X, "")
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, n.Call, "deferred ")
+			case *ast.AssignStmt:
+				checkBlankedErrors(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDroppedCall reports a statement-level call whose results include
+// an error.
+func checkDroppedCall(pass *Pass, e ast.Expr, kind string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if !callReturnsError(pass, call) || exemptPrinter(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%scall discards its error result; handle it or suppress with //lint:allow errdrop <why>", kind)
+}
+
+// checkBlankedErrors reports `_ = f()` and `x, _ := g()` where the
+// blanked position is an error.
+func checkBlankedErrors(pass *Pass, as *ast.AssignStmt) {
+	// Multi-value form: a, _ := f()
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || exemptPrinter(pass, call) {
+			return
+		}
+		tuple, ok := pass.Info.TypeOf(call).(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if i >= tuple.Len() || !isBlank(lhs) {
+				continue
+			}
+			if isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(lhs.Pos(), "error result assigned to _; handle it or suppress with //lint:allow errdrop <why>")
+			}
+		}
+		return
+	}
+	// Paired form: _ = f()
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) || !isBlank(lhs) {
+			continue
+		}
+		call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+		if !ok || exemptPrinter(pass, call) {
+			continue
+		}
+		if isErrorType(pass.Info.TypeOf(call)) {
+			pass.Reportf(lhs.Pos(), "error result assigned to _; handle it or suppress with //lint:allow errdrop <why>")
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// callReturnsError reports whether any result of the call is an error.
+func callReturnsError(pass *Pass, call *ast.CallExpr) bool {
+	switch t := pass.Info.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// exemptPrinter accepts the fmt print family when it writes to the
+// process's own stdout/stderr: Print/Printf/Println always, and the
+// Fprint variants only when the first argument is os.Stdout or
+// os.Stderr. Fprint to any other writer (a file, an HTTP response) is a
+// real I/O path whose error matters.
+func exemptPrinter(pass *Pass, call *ast.CallExpr) bool {
+	fn := calledFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	name := fn.Name()
+	if strings.HasPrefix(name, "Print") {
+		return true
+	}
+	if !strings.HasPrefix(name, "Fprint") || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if pkg, ok := pass.Info.Uses[id].(*types.PkgName); !ok || pkg.Imported().Path() != "os" {
+		return false
+	}
+	return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+}

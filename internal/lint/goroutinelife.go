@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// goroutinePkgs are the packages whose goroutines must be tied to a
+// shutdown path: the concurrent service stack and every command. A
+// fire-and-forget `go` there can leak past Drain/Shutdown, which the
+// daemon's goroutine-baseline tests only catch when a test happens to
+// exercise the leaky path.
+func goroutineScoped(path string) bool {
+	switch path {
+	case "rapidmrc/internal/service", "rapidmrc/internal/dynamic":
+		return true
+	}
+	return strings.HasPrefix(path, "rapidmrc/cmd/")
+}
+
+// GoroutineLife requires every `go` statement in the service stack
+// (internal/service, internal/dynamic, cmd/*) to be tied to a shutdown
+// path. A spawn passes when the goroutine's body provably signals its
+// exit — it closes a done channel, calls a WaitGroup's Done, or sends
+// on a channel some owner receives from — either directly (a function
+// literal) or in the body of a same-package function or method the `go`
+// statement names. Anything else is a potential leak past
+// Drain/Shutdown and must be restructured or suppressed with a reason.
+var GoroutineLife = &Analyzer{
+	Name: "goroutinelife",
+	Doc: "every go statement in internal/{service,dynamic} and cmd/* must " +
+		"signal its exit (WaitGroup Done, done-channel close, or channel send)",
+	Run: runGoroutineLife,
+}
+
+func runGoroutineLife(pass *Pass) error {
+	if !goroutineScoped(pass.Path) {
+		return nil
+	}
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goCalleeBody(pass, gs, decls)
+			if body == nil {
+				pass.Reportf(gs.Pos(), "go statement spawns a function defined outside this package; its lifecycle cannot be verified — wrap it in a local function that signals its exit")
+				return true
+			}
+			if !signalsExit(pass, body) {
+				pass.Reportf(gs.Pos(), "goroutine is not tied to a shutdown path: its body neither closes a done channel, calls a WaitGroup Done, nor sends on a channel")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageFuncDecls indexes the package's function and method bodies by
+// their object, so `go t.run()` can be resolved to run's declaration.
+func packageFuncDecls(pass *Pass) map[types.Object]*ast.FuncDecl {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// goCalleeBody resolves the spawned function's body: a literal's own
+// body, or the declaration of a same-package function/method.
+func goCalleeBody(pass *Pass, gs *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fd := decls[pass.Info.Uses[fun]]; fd != nil {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[pass.Info.Uses[fun.Sel]]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// signalsExit reports whether the body contains an exit signal the
+// spawner (or a drain path) can observe: close(ch), a WaitGroup Done
+// call, or a channel send. Nested function literals are not searched —
+// a signal inside a nested `go` or deferred closure belongs to that
+// closure's goroutine, except that deferred literals run on this
+// goroutine's exit path and do count.
+func signalsExit(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	var scan func(n ast.Node) bool
+	scan = func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// defer close(done) / defer wg.Done() / defer func(){...}()
+			if exitCall(pass, n.Call) {
+				found = true
+				return false
+			}
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, scan)
+			}
+			return true
+		case *ast.SendStmt:
+			found = true
+			return false
+		case *ast.CallExpr:
+			if exitCall(pass, n) {
+				found = true
+				return false
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, scan)
+	return found
+}
+
+// exitCall recognizes close(ch) and (*sync.WaitGroup).Done().
+func exitCall(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := pass.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "close" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name != "Done" {
+			return false
+		}
+		fn, ok := pass.Info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		return fn.Pkg().Path() == "sync"
+	}
+	return false
+}

@@ -191,5 +191,10 @@ func All() []*Analyzer {
 		Determinism,
 		MapOrder,
 		ImportBoundary,
+		LockGuard,
+		AtomicField,
+		GoroutineLife,
+		ChanBound,
+		ErrDrop,
 	}
 }

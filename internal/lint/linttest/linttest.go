@@ -23,8 +23,10 @@ import (
 )
 
 // wantRe pulls the quoted pattern out of a `// want "..."` or
-// `// want `...“ comment.
-var wantRe = regexp.MustCompile("//\\s*want\\s+(?:\"([^\"]*)\"|`([^`]*)`)")
+// `// want `...“ comment. Block-comment wants (`/* want `...` */`) are
+// accepted too, for fixture lines whose trailing line comment is itself
+// the marker under test.
+var wantRe = regexp.MustCompile("(?://|/\\*)\\s*want\\s+(?:\"([^\"]*)\"|`([^`]*)`)")
 
 type expectation struct {
 	file    string

@@ -1,0 +1,651 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// guardedByMarker annotates a struct field with the sibling mutex that
+// guards it. The marker lives in the field's doc comment (or trailing
+// line comment):
+//
+//	mu      sync.Mutex
+//	tenants map[string]*Tenant //rapidmrc:guardedby mu
+//
+// lockguard then requires every access to the field to happen while
+// that mutex is held, tracked lexically per function body.
+const guardedByMarker = "rapidmrc:guardedby"
+
+// lockedMarker asserts, in a function's doc comment, that the caller
+// holds the named mutex of the (named) receiver on entry — the contract
+// the *Locked helper convention states in prose:
+//
+//	// snapshotLocked computes a fresh epoch; the caller holds t.mu.
+//	//
+//	//rapidmrc:locked mu
+//	func (t *Tenant) snapshotLocked() (*Epoch, error) { ... }
+//
+// The annotation is trusted at the callee (lockguard has no
+// inter-procedural call graph); its value is that the helper's own
+// accesses are checked against the declared lock, and the marker makes
+// the contract grep-able.
+const lockedMarker = "rapidmrc:locked"
+
+// LockGuard enforces //rapidmrc:guardedby field annotations: a guarded
+// field may only be accessed where the named sibling mutex is held,
+// established by lexical Lock/Unlock (and RLock/RUnlock) tracking
+// within each function body. Deferred Unlocks keep the mutex held to
+// the end of the function; branches merge conservatively (a mutex
+// counts as held after an if/switch only if every falling-through arm
+// held it). Reads are satisfied by a read or write hold; writes require
+// the exclusive hold. Values still local to their constructor (taken
+// from `x := &T{...}`, `x := T{...}`, or `x := new(T)` in the same
+// body) are exempt: nothing else can see them yet.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated //rapidmrc:guardedby <mu> may only be accessed " +
+		"while that mutex is lexically held (defer-aware; //rapidmrc:locked " +
+		"declares a caller-held lock)",
+	Run: runLockGuard,
+}
+
+// holdKind distinguishes the exclusive hold from the shared read hold.
+type holdKind int
+
+const (
+	holdRead holdKind = iota + 1
+	holdWrite
+)
+
+// lockState maps a mutex expression ("t.mu") to the strongest hold in
+// force.
+type lockState map[string]holdKind
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// intersectStates keeps only the holds present in both states, at the
+// weaker kind.
+func intersectStates(a, b lockState) lockState {
+	out := make(lockState)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if vb < va {
+				out[k] = vb
+			} else {
+				out[k] = va
+			}
+		}
+	}
+	return out
+}
+
+// lockGuardPass carries one package's guarded-field table through the
+// function walks.
+type lockGuardPass struct {
+	pass *Pass
+	// guarded maps a field object to the name of its guarding mutex
+	// field ("mu").
+	guarded map[*types.Var]string
+	// exempt holds objects of locals the current function constructed
+	// itself (not yet shared).
+	exempt map[types.Object]bool
+}
+
+func runLockGuard(pass *Pass) error {
+	lg := &lockGuardPass{pass: pass, guarded: collectGuardedFields(pass)}
+	if len(lg.guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lg.exempt = collectConstructedLocals(pass, fd.Body)
+			entry := entryLocks(pass, fd)
+			lg.walkStmts(fd.Body.List, entry)
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields scans struct declarations for //rapidmrc:guardedby
+// markers, verifying the named guard is a sibling sync.Mutex/RWMutex
+// field.
+func collectGuardedFields(pass *Pass) map[*types.Var]string {
+	guarded := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu, pos, ok := fieldMarker(field)
+				if !ok {
+					continue
+				}
+				if mu == "" {
+					pass.Reportf(pos, "//%s needs a mutex field name: //%s <mu>", guardedByMarker, guardedByMarker)
+					continue
+				}
+				if !structHasMutexField(pass, st, mu) {
+					pass.Reportf(pos, "//%s %s: no sibling sync.Mutex/RWMutex field %q in this struct", guardedByMarker, mu, mu)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						guarded[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// fieldMarker extracts the //rapidmrc:guardedby argument from a field's
+// doc or trailing comment.
+func fieldMarker(field *ast.Field) (mu string, pos token.Pos, found bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//"+guardedByMarker)
+			if !ok {
+				continue
+			}
+			// The first token names the mutex; anything after it is prose.
+			if fields := strings.Fields(rest); len(fields) > 0 {
+				return fields[0], c.Pos(), true
+			}
+			return "", c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+func structHasMutexField(pass *Pass, st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name == name {
+				return isMutexType(pass.Info.TypeOf(field.Type))
+			}
+		}
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return true
+	}
+	return false
+}
+
+// entryLocks builds the function's entry state from //rapidmrc:locked
+// markers: each names a mutex field of the (named) receiver the caller
+// holds exclusively.
+func entryLocks(pass *Pass, fd *ast.FuncDecl) lockState {
+	st := make(lockState)
+	if fd.Doc == nil {
+		return st
+	}
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//"+lockedMarker)
+		if !ok {
+			continue
+		}
+		var mu string
+		if fields := strings.Fields(rest); len(fields) > 0 {
+			mu = fields[0]
+		}
+		if mu == "" {
+			pass.Reportf(c.Pos(), "//%s needs a mutex field name: //%s <mu>", lockedMarker, lockedMarker)
+			continue
+		}
+		recv := receiverName(fd)
+		if recv == "" {
+			pass.Reportf(c.Pos(), "//%s %s requires a method with a named receiver", lockedMarker, mu)
+			continue
+		}
+		st[recv+"."+mu] = holdWrite
+	}
+	return st
+}
+
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	name := fd.Recv.List[0].Names[0].Name
+	if name == "_" {
+		return ""
+	}
+	return name
+}
+
+// collectConstructedLocals finds locals assigned from a composite
+// literal or new() in this body — values not yet visible to any other
+// goroutine, whose guarded fields may be initialized lock-free.
+func collectConstructedLocals(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	exempt := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if !isConstruction(pass, as.Rhs[i]) {
+				continue
+			}
+			if obj := pass.Info.Defs[id]; obj != nil {
+				exempt[obj] = true
+			}
+		}
+		return true
+	})
+	return exempt
+}
+
+func isConstruction(pass *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			b, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+			return isBuiltin && b.Name() == "new"
+		}
+	}
+	return false
+}
+
+// walkStmts threads the lock state through a statement list in order,
+// returning whether control can fall off the end.
+func (lg *lockGuardPass) walkStmts(list []ast.Stmt, st lockState) bool {
+	for _, s := range list {
+		if !lg.walkStmt(s, st) {
+			return false
+		}
+	}
+	return true
+}
+
+// walkStmt updates st with any lock operations in s, checks guarded
+// accesses against it, and reports whether control falls through to the
+// next statement.
+func (lg *lockGuardPass) walkStmt(s ast.Stmt, st lockState) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return lg.walkStmts(s.List, st)
+	case *ast.ExprStmt:
+		if key, op, ok := mutexOp(lg.pass, s.X); ok {
+			applyMutexOp(st, key, op)
+			return true
+		}
+		lg.checkExpr(s.X, st, holdRead)
+		return true
+	case *ast.DeferStmt:
+		// Deferred Unlocks run at function exit: the hold persists for
+		// the rest of the body, so the state is left untouched. A
+		// deferred Lock is nonsense and ignored.
+		if _, _, ok := mutexOp(lg.pass, s.Call); ok {
+			return true
+		}
+		lg.checkExpr(s.Call.Fun, st, holdRead)
+		for _, a := range s.Call.Args {
+			lg.checkExpr(a, st, holdRead)
+		}
+		return true
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			lg.checkExpr(r, st, holdRead)
+		}
+		for _, l := range s.Lhs {
+			lg.checkExpr(l, st, holdWrite)
+		}
+		return true
+	case *ast.IncDecStmt:
+		lg.checkExpr(s.X, st, holdWrite)
+		return true
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lg.checkExpr(v, st, holdRead)
+					}
+				}
+			}
+		}
+		return true
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			lg.checkExpr(r, st, holdRead)
+		}
+		return false
+	case *ast.BranchStmt:
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lg.walkStmt(s.Init, st)
+		}
+		lg.checkExpr(s.Cond, st, holdRead)
+		thenSt := st.clone()
+		thenFalls := lg.walkStmt(s.Body, thenSt)
+		if s.Else == nil {
+			// The condition-false path falls through with the pre-state.
+			if thenFalls {
+				replaceState(st, intersectStates(st, thenSt))
+			}
+			return true
+		}
+		elseSt := st.clone()
+		elseFalls := lg.walkStmt(s.Else, elseSt)
+		switch {
+		case thenFalls && elseFalls:
+			replaceState(st, intersectStates(thenSt, elseSt))
+			return true
+		case thenFalls:
+			replaceState(st, thenSt)
+			return true
+		case elseFalls:
+			replaceState(st, elseSt)
+			return true
+		}
+		return false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lg.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			lg.checkExpr(s.Cond, st, holdRead)
+		}
+		bodySt := st.clone()
+		lg.walkStmt(s.Body, bodySt)
+		if s.Post != nil {
+			lg.walkStmt(s.Post, bodySt)
+		}
+		// The loop may run zero times; holds survive only if both the
+		// pre-state and the body exit agree.
+		replaceState(st, intersectStates(st, bodySt))
+		return true
+	case *ast.RangeStmt:
+		lg.checkExpr(s.X, st, holdRead)
+		bodySt := st.clone()
+		lg.walkStmt(s.Body, bodySt)
+		replaceState(st, intersectStates(st, bodySt))
+		return true
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return lg.walkBranches(s, st)
+	case *ast.SendStmt:
+		lg.checkExpr(s.Chan, st, holdRead)
+		lg.checkExpr(s.Value, st, holdRead)
+		return true
+	case *ast.GoStmt:
+		// The spawned body runs later, with no inherited holds.
+		lg.checkExpr(s.Call.Fun, st, holdRead)
+		for _, a := range s.Call.Args {
+			lg.checkExpr(a, st, holdRead)
+		}
+		return true
+	case *ast.LabeledStmt:
+		return lg.walkStmt(s.Stmt, st)
+	}
+	return true
+}
+
+// walkBranches handles switch/type-switch/select: every arm starts from
+// the current state, and only holds common to all falling-through arms
+// survive. Without a default (or with zero arms) the zero-arms path
+// falls through with the pre-state.
+func (lg *lockGuardPass) walkBranches(s ast.Stmt, st lockState) bool {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lg.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			lg.checkExpr(s.Tag, st, holdRead)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			lg.walkStmt(s.Init, st)
+		}
+		lg.walkStmt(s.Assign, st)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var fallStates []lockState
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				lg.checkExpr(e, st, holdRead)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+			armSt := st.clone()
+			if c.Comm != nil {
+				lg.walkStmt(c.Comm, armSt)
+			}
+			if lg.walkStmts(stmts, armSt) {
+				fallStates = append(fallStates, armSt)
+			}
+			continue
+		}
+		armSt := st.clone()
+		if lg.walkStmts(stmts, armSt) {
+			fallStates = append(fallStates, armSt)
+		}
+	}
+	if !hasDefault {
+		fallStates = append(fallStates, st.clone())
+	}
+	if len(fallStates) == 0 {
+		return false
+	}
+	merged := fallStates[0]
+	for _, fs := range fallStates[1:] {
+		merged = intersectStates(merged, fs)
+	}
+	replaceState(st, merged)
+	return true
+}
+
+func replaceState(dst, src lockState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// checkExpr reports guarded-field accesses inside e that the current
+// state does not cover. need is the hold the access requires: holdWrite
+// for assignment targets, holdRead elsewhere. Function literals are
+// walked with an empty state — they run later, on some other
+// goroutine's schedule.
+func (lg *lockGuardPass) checkExpr(e ast.Expr, st lockState, need holdKind) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lg.walkStmts(n.Body.List, make(lockState))
+			return false
+		case *ast.SelectorExpr:
+			lg.checkSelector(n, st, need)
+			// Still descend: n.X may itself be a guarded access.
+		}
+		return true
+	})
+}
+
+func (lg *lockGuardPass) checkSelector(sel *ast.SelectorExpr, st lockState, need holdKind) {
+	obj := lg.pass.Info.Uses[sel.Sel]
+	if obj == nil {
+		if s, ok := lg.pass.Info.Selections[sel]; ok {
+			obj = s.Obj()
+		}
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	mu, guarded := lg.guarded[v]
+	if !guarded {
+		return
+	}
+	base := ast.Unparen(sel.X)
+	if id, ok := base.(*ast.Ident); ok {
+		if o := lg.pass.Info.Uses[id]; o != nil && lg.exempt[o] {
+			return
+		}
+	}
+	baseStr := exprString(base)
+	if baseStr == "" {
+		// An unrecognized base (call result, index chain) cannot be
+		// matched to a Lock call; report so the code gets simplified or
+		// suppressed explicitly.
+		lg.pass.Reportf(sel.Pos(), "access to %s-guarded field %s through an untrackable base expression", mu, v.Name())
+		return
+	}
+	key := baseStr + "." + mu
+	have := st[key]
+	if have >= need {
+		return
+	}
+	what := "read"
+	if need == holdWrite {
+		what = "write"
+	}
+	if have == holdRead && need == holdWrite {
+		lg.pass.Reportf(sel.Pos(), "write to %s.%s requires %s held exclusively (only RLock is in force)", baseStr, v.Name(), key)
+		return
+	}
+	lg.pass.Reportf(sel.Pos(), "%s of %s.%s without holding %s (guarded by //%s %s)", what, baseStr, v.Name(), key, guardedByMarker, mu)
+}
+
+// mutexOpKind is one of the four lock transitions.
+type mutexOpKind int
+
+const (
+	opLock mutexOpKind = iota
+	opUnlock
+	opRLock
+	opRUnlock
+)
+
+// mutexOp recognizes a statement-level mutex call: `x.mu.Lock()` and
+// friends, where the receiver is a sync.Mutex or sync.RWMutex reachable
+// through a trackable expression.
+func mutexOp(pass *Pass, e ast.Expr) (key string, op mutexOpKind, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", 0, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		op = opLock
+	case "Unlock":
+		op = opUnlock
+	case "RLock":
+		op = opRLock
+	case "RUnlock":
+		op = opRUnlock
+	default:
+		return "", 0, false
+	}
+	if !isMutexType(pass.Info.TypeOf(sel.X)) {
+		return "", 0, false
+	}
+	key = exprString(ast.Unparen(sel.X))
+	if key == "" {
+		return "", 0, false
+	}
+	return key, op, true
+}
+
+func applyMutexOp(st lockState, key string, op mutexOpKind) {
+	switch op {
+	case opLock:
+		st[key] = holdWrite
+	case opRLock:
+		if st[key] < holdRead {
+			st[key] = holdRead
+		}
+	case opUnlock, opRUnlock:
+		delete(st, key)
+	}
+}
+
+// exprString renders an identifier or selector chain ("t", "t.svc.pool")
+// for use as a tracking key; anything else yields "".
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,55 @@
+// Package fixture exercises the atomicfield analyzer: a field managed
+// through sync/atomic anywhere in the package — a typed atomic.Int64 or
+// a plain field some atomic call takes the address of — must never be
+// read or written plainly.
+package fixture
+
+import "sync/atomic"
+
+type gauges struct {
+	typed  atomic.Int64
+	legacy int64
+	plain  int64
+}
+
+// ok is the true negative: both styles accessed atomically, and the
+// never-atomic plain field accessed plainly.
+func (g *gauges) ok() int64 {
+	g.typed.Add(1)
+	atomic.AddInt64(&g.legacy, 1)
+	g.plain++
+	return g.typed.Load() + atomic.LoadInt64(&g.legacy) + g.plain
+}
+
+// okPointer passes the typed atomic by address.
+func okPointer(g *gauges) *atomic.Int64 {
+	return &g.typed
+}
+
+// copyTyped copies the atomic value — a plain read of its word.
+func copyTyped(g *gauges) {
+	v := g.typed // want `sync/atomic value; access it only through its atomic methods`
+	v.Add(1)
+}
+
+// storeTyped assigns over the atomic value — a plain write.
+func storeTyped(g *gauges) {
+	g.typed = atomic.Int64{} // want `sync/atomic value; access it only through its atomic methods`
+}
+
+// plainLegacy reads a legacy atomic field without sync/atomic: it races
+// with the AddInt64 in ok.
+func plainLegacy(g *gauges) int64 {
+	return g.legacy // want `accessed via sync/atomic elsewhere in this package`
+}
+
+// bumpLegacy writes it plainly.
+func bumpLegacy(g *gauges) {
+	g.legacy++ // want `accessed via sync/atomic elsewhere in this package`
+}
+
+// suppressed demonstrates the explained escape hatch.
+func suppressed(g *gauges) int64 {
+	//lint:allow atomicfield fixture demonstrates an explained suppression
+	return g.legacy
+}

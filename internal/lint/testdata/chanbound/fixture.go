@@ -1,0 +1,47 @@
+// Package fixture exercises the chanbound analyzer: service-layer
+// channels must carry an explicit constant capacity >= 1, or an
+// explained //rapidmrc:unbounded annotation.
+package fixture
+
+const depth = 8
+
+// bounded is the true negative: a reviewable constant bound.
+func bounded() chan int {
+	return make(chan int, depth)
+}
+
+func boundedLiteral() chan error {
+	return make(chan error, 1)
+}
+
+// unbuffered is the true positive: senders block.
+func unbuffered() chan int {
+	return make(chan int) // want `unbuffered channel in the service layer`
+}
+
+// variable hides the bound from review.
+func variable(n int) chan int {
+	return make(chan int, n) // want `not a compile-time constant`
+}
+
+// zero is unbuffered by computation.
+func zero() chan int {
+	return make(chan int, 0) // want `capacity 0 makes the channel unbuffered`
+}
+
+// notAChannel: make on other types is out of scope.
+func notAChannel(n int) []int {
+	return make([]int, n)
+}
+
+// allowed demonstrates the explained escape hatch.
+func allowed() chan struct{} {
+	//rapidmrc:unbounded close-only completion signal for the fixture
+	return make(chan struct{})
+}
+
+var _ = bareMarker /* want `needs a reason` */ //rapidmrc:unbounded
+
+func bareMarker() chan int {
+	return make(chan int, 1)
+}

@@ -1,0 +1,59 @@
+// Package fixture exercises the errdrop analyzer: error results in the
+// service stack must be handled, not dropped on the floor.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func value() int { return 1 }
+
+// handled is the true negative, including the exempt print family.
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	fmt.Println("diagnostic output is exempt")
+	fmt.Fprintln(os.Stderr, "so is Fprint to the process streams")
+	fmt.Fprintf(os.Stdout, "%d\n", value())
+	value()
+	return nil
+}
+
+// bare drops the error of a statement-level call.
+func bare() {
+	fail() // want `call discards its error result`
+}
+
+// deferred drops it at function exit.
+func deferred() {
+	defer fail() // want `deferred call discards its error result`
+}
+
+// blanked discards it explicitly.
+func blanked() {
+	_ = fail() // want `error result assigned to _`
+}
+
+// unpacked discards the second result of a multi-value call.
+func unpacked() int {
+	v, _ := pair() // want `error result assigned to _`
+	return v
+}
+
+// fprintElsewhere writes to a real writer, not the process streams.
+func fprintElsewhere(w *os.File) {
+	fmt.Fprintln(w, "a file") // want `call discards its error result`
+}
+
+// suppressed demonstrates the explained escape hatch.
+func suppressed() {
+	//lint:allow errdrop fixture demonstrates an explained suppression
+	fail()
+}

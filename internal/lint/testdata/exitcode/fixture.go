@@ -1,0 +1,10 @@
+// Package fixture seeds exactly one hotpathalloc violation, so the
+// exit-code smoke test can drive cmd/rapidlint to exit status 1. The
+// directory lives under testdata, which wildcard patterns exclude: the
+// repo-clean check never sees it, only the explicit-path smoke test.
+package fixture
+
+//rapidmrc:hotpath
+func leaky(xs []int, x int) []int {
+	return append(xs, x)
+}

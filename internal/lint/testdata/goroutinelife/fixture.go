@@ -1,0 +1,67 @@
+// Package fixture exercises the goroutinelife analyzer: every go
+// statement in the service stack must signal its exit — close a done
+// channel, call a WaitGroup Done, or send on a channel — directly or in
+// the body of the same-package function it spawns.
+package fixture
+
+import "sync"
+
+type worker struct {
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// startMethod spawns a same-package method whose body closes the done
+// channel: the lifecycle is verifiable across the call.
+func (w *worker) startMethod() {
+	go w.run()
+}
+
+func (w *worker) run() {
+	defer close(w.done)
+}
+
+// startWaitGroup ties the literal to the WaitGroup.
+func (w *worker) startWaitGroup() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+	}()
+}
+
+// startSend signals completion by sending the result.
+func startSend(c chan int) {
+	go func() {
+		c <- 1
+	}()
+}
+
+// startFire is the true positive: nothing observes this goroutine's
+// exit.
+func startFire() {
+	go func() { // want `not tied to a shutdown path`
+	}()
+}
+
+// startForeign spawns a function whose body is not in this package, so
+// its lifecycle cannot be checked.
+func startForeign(wg *sync.WaitGroup) {
+	go wg.Wait() // want `defined outside this package`
+}
+
+// nested signals inside a spawned-from-here goroutine do not count for
+// the outer one.
+func startNested(c chan int) {
+	go func() { // want `not tied to a shutdown path`
+		go func() {
+			c <- 1
+		}()
+	}()
+}
+
+// suppressed demonstrates the explained escape hatch.
+func startSuppressed() {
+	//lint:allow goroutinelife fixture demonstrates an explained suppression
+	go func() {
+	}()
+}

@@ -1,0 +1,105 @@
+// Package fixture exercises the lockguard analyzer: guarded fields may
+// only be touched while the annotated mutex is lexically held, with
+// defer-aware tracking, branch merging, read/write hold distinction,
+// //rapidmrc:locked caller-holds markers, and the constructed-local
+// exemption.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //rapidmrc:guardedby mu
+	m  int /* want `no sibling` */ //rapidmrc:guardedby ghost
+
+	rw sync.RWMutex
+	r  int //rapidmrc:guardedby rw
+}
+
+// locked is the plain true negative: lock, touch, unlock.
+func (c *counter) locked() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// deferred holds via defer to the end of the body.
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// bare is the true positive: no lock anywhere.
+func (c *counter) bare() {
+	c.n++ // want `write of c.n without holding c.mu`
+}
+
+// bareRead reads without the lock.
+func (c *counter) bareRead() int {
+	return c.n // want `read of c.n without holding c.mu`
+}
+
+// readHold satisfies reads but not writes.
+func (c *counter) readHold() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	c.r++ // want `requires c.rw held exclusively`
+	return c.r
+}
+
+// earlyOut unlocks only on the terminating branch, so the fall-through
+// path still holds.
+func (c *counter) earlyOut(skip bool) {
+	c.mu.Lock()
+	if skip {
+		c.mu.Unlock()
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// maybeLocked only holds on one arm of the branch: the merge drops the
+// hold, so the access after the if is flagged.
+func (c *counter) maybeLocked(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want `write of c.n without holding c.mu`
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+// addLocked documents (and is checked against) the caller-holds
+// contract of the *Locked helper convention.
+//
+//rapidmrc:locked mu
+func (c *counter) addLocked(d int) {
+	c.n += d
+}
+
+// newCounter initializes guarded fields on a value no other goroutine
+// can see yet: exempt.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// spawned function literals run on their own schedule and inherit no
+// holds from the spawner.
+func (c *counter) leaks() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `write of c.n without holding c.mu`
+	}()
+}
+
+// suppressed demonstrates the explained escape hatch.
+func (c *counter) suppressed() int {
+	//lint:allow lockguard fixture demonstrates an explained suppression
+	return c.n
+}

@@ -116,7 +116,11 @@ func zScore(level float64) float64 {
 
 // hashLine spreads a cache-line address over the hash space: the
 // splitmix64 finalizer, whose avalanche keeps stride-heavy synthetic
-// address streams from aliasing into one bucket region.
+// address streams from aliasing into one bucket region. It runs once
+// per captured reference — before the filter rejects — so it shares
+// Feed's allocation-free pin.
+//
+//rapidmrc:hotpath
 func hashLine(l mem.Line) uint64 {
 	x := uint64(l)
 	x ^= x >> 30
@@ -381,7 +385,9 @@ func (e *Engine) Feed(line mem.Line) {
 // kept; references recorded from here on carry the new, larger weight.
 // The next halving arms after half a budget more samples (the cadence an
 // evicting implementation would show, where a halving discards half the
-// sample set).
+// sample set). It runs inside Feed and inherits its allocation-free pin.
+//
+//rapidmrc:hotpath
 func (e *Engine) adapt() {
 	if e.threshold <= 1 {
 		e.adaptAt = 0

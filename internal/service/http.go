@@ -374,6 +374,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
+	//lint:allow errdrop status already committed; an encode failure means the client went away
 	enc.Encode(v)
 }
 
@@ -448,5 +449,6 @@ func writeMetrics(w http.ResponseWriter, svc *Service) {
 		series("rapidmrc_tenant_sampling_rate_milli", s.ID, int64(s.SamplingRate*1000))
 		series("rapidmrc_tenant_band_width_milli_mpki", s.ID, int64(s.BandWidthMPKI*1000))
 	}
+	//lint:allow errdrop scrape response; a short write means the client went away
 	w.Write(b)
 }

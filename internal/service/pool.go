@@ -58,13 +58,13 @@ type PoolStats struct {
 // property tests.
 type EnginePool struct {
 	mu       sync.Mutex
-	capacity int
-	serial   []*core.StreamEngine
-	parallel []*parstack.Feeder
-	sampled  []*sample.Engine
-	hits     int
-	misses   int
-	drops    int
+	capacity int                  // immutable after construction
+	serial   []*core.StreamEngine //rapidmrc:guardedby mu
+	parallel []*parstack.Feeder   //rapidmrc:guardedby mu
+	sampled  []*sample.Engine     //rapidmrc:guardedby mu
+	hits     int                  //rapidmrc:guardedby mu
+	misses   int                  //rapidmrc:guardedby mu
+	drops    int                  //rapidmrc:guardedby mu
 }
 
 // DefaultPoolCapacity bounds how many idle engines a pool retains when

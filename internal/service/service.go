@@ -60,8 +60,8 @@ type Service struct {
 	budget atomic.Int64 // remaining global admission budget, entries
 
 	mu       sync.Mutex
-	tenants  map[string]*Tenant
-	draining bool
+	tenants  map[string]*Tenant //rapidmrc:guardedby mu
+	draining bool               //rapidmrc:guardedby mu
 }
 
 // New returns a Service with the given configuration (zero fields

@@ -158,10 +158,10 @@ type Tenant struct {
 	// last epoch. The worker holds it while feeding a batch; snapshots
 	// and serves hold it while computing.
 	mu   sync.Mutex
-	eng  Engine // nil once finalized (engine returned to the pool)
-	corr *core.StreamCorrector
-	last *Epoch
-	next int // next auto-epoch boundary (entries)
+	eng  Engine                //rapidmrc:guardedby mu (nil once finalized: engine returned to the pool)
+	corr *core.StreamCorrector //rapidmrc:guardedby mu
+	last *Epoch                //rapidmrc:guardedby mu
+	next int                   //rapidmrc:guardedby mu (next auto-epoch boundary, entries)
 
 	// Analytical tier state (all nil/zero when the tier is disabled).
 	// The sampler sees exactly the corrected lines the engine sees, so
@@ -169,12 +169,12 @@ type Tenant struct {
 	// detector observes the largest-size MPKI of each auto-epoch as its
 	// interval miss rate; phasePending latches a detected transition
 	// until the next serving decision consumes it.
-	sampler      *approx.Sampler
-	policy       *approx.Policy
-	det          *phase.Detector
-	phasePending bool
-	lastDecision approx.Decision
-	crossVal     float64 // mean abs MPKI distance estimate↔simulated; -1 unmeasured
+	sampler      *approx.Sampler //rapidmrc:guardedby mu
+	policy       *approx.Policy  //rapidmrc:guardedby mu
+	det          *phase.Detector //rapidmrc:guardedby mu
+	phasePending bool            //rapidmrc:guardedby mu
+	lastDecision approx.Decision //rapidmrc:guardedby mu
+	crossVal     float64         //rapidmrc:guardedby mu (mean abs MPKI distance estimate<->simulated; -1 unmeasured)
 
 	// qmu guards the ingest queue and lifecycle flags. qcond wakes the
 	// worker (work arrived, or closing); dcond wakes Flush waiters
@@ -182,14 +182,14 @@ type Tenant struct {
 	qmu      sync.Mutex
 	qcond    *sync.Cond
 	dcond    *sync.Cond
-	queue    []batch
-	head     int
-	qentries int
-	inflight int
-	closed   bool
-	closeErr error
-	discard  bool
-	exited   bool
+	queue    []batch //rapidmrc:guardedby qmu
+	head     int     //rapidmrc:guardedby qmu
+	qentries int     //rapidmrc:guardedby qmu
+	inflight int     //rapidmrc:guardedby qmu
+	closed   bool    //rapidmrc:guardedby qmu
+	closeErr error   //rapidmrc:guardedby qmu
+	discard  bool    //rapidmrc:guardedby qmu
+	exited   bool    //rapidmrc:guardedby qmu
 
 	done chan struct{}
 
@@ -203,6 +203,7 @@ type Tenant struct {
 
 // newTenant builds a tenant and starts its worker.
 func newTenant(id string, svc *Service, cfg TenantConfig, eng Engine) *Tenant {
+	//rapidmrc:unbounded done is a close-only completion signal; nothing ever sends on it
 	t := &Tenant{id: id, svc: svc, cfg: cfg, eng: eng, done: make(chan struct{}),
 		crossVal: -1}
 	if !cfg.NoCorrection {
@@ -350,8 +351,9 @@ func (t *Tenant) consume(b batch) {
 // largest-size MPKI as its interval miss rate (a detected transition is
 // latched until the next serving decision), and the current analytical
 // estimate is cross-validated against the just-computed real curve — the
-// simulation was already paid for, so the error measurement is free. The
-// caller holds t.mu.
+// simulation was already paid for, so the error measurement is free.
+//
+//rapidmrc:locked mu
 func (t *Tenant) observeEpochLocked(ep *Epoch) {
 	if t.det != nil {
 		mpki := ep.Result.MRC.MPKI
@@ -372,6 +374,7 @@ func (t *Tenant) observeEpochLocked(ep *Epoch) {
 // describe identical references.
 //
 //rapidmrc:hotpath
+//rapidmrc:locked mu
 func (t *Tenant) feedLines(lines []uint64) {
 	s := t.sampler
 	if t.corr != nil {
@@ -394,12 +397,16 @@ func (t *Tenant) feedLines(lines []uint64) {
 
 // snapshotLocked computes a fresh epoch; the caller holds t.mu and has
 // checked t.eng is live.
+//
+//rapidmrc:locked mu
 func (t *Tenant) snapshotLocked() (*Epoch, error) {
+	//lint:allow determinism epoch-latency metric only; never feeds a curve
 	start := time.Now()
 	res, err := t.eng.Snapshot(t.instr.Load())
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow determinism epoch-latency metric only; never feeds a curve
 	t.lastNanos.Store(int64(time.Since(start)))
 	t.epochs.Add(1)
 	converted := 0
@@ -532,7 +539,9 @@ func (t *Tenant) Serve(wait bool) (*Epoch, error) {
 // is synthesized (Hist nil, no stack statistics) but carries the same
 // curve, normalization, and warmup description a simulated result would,
 // so every downstream consumer — transposition, partition advice —
-// works unchanged. The caller holds t.mu.
+// works unchanged.
+//
+//rapidmrc:locked mu
 func (t *Tenant) analyticalEpochLocked(e *approx.Estimate, prof *approx.Profile, d approx.Decision) *Epoch {
 	converted := 0
 	if t.corr != nil {
@@ -577,6 +586,7 @@ func (t *Tenant) Stats() TenantStats {
 	t.qmu.Unlock()
 	t.mu.Lock()
 	warming := t.eng != nil && t.eng.Warming()
+	converted := t.corr != nil
 	decision := t.lastDecision
 	crossVal := t.crossVal
 	var pstats approx.PolicyStats
@@ -611,7 +621,7 @@ func (t *Tenant) Stats() TenantStats {
 		Sheds:            int(t.sheds.Load()),
 		Epochs:           int(t.epochs.Load()),
 		LastEpochNanos:   t.lastNanos.Load(),
-		Converted:        t.corr != nil,
+		Converted:        converted,
 		Warming:          warming,
 		Closed:           closed,
 		Tier:             decision.Tier.String(),
